@@ -1,0 +1,235 @@
+//! Plain-text rendering: aligned tables and terminal line charts used
+//! by the `repro` harness to print paper tables and figures.
+
+/// Renders an aligned text table.
+///
+/// ```
+/// use faultline_analysis::ascii::render_table;
+/// let out = render_table(
+///     &["n", "f", "CR"],
+///     &[vec!["3".into(), "1".into(), "5.24".into()]],
+/// );
+/// assert!(out.contains("5.24"));
+/// ```
+#[must_use]
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (i, w) in widths.iter().enumerate() {
+            let empty = String::new();
+            let cell = cells.get(i).unwrap_or(&empty);
+            line.push_str(&format!(" {cell:>w$} |", w = w));
+        }
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| (*h).to_owned()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push('|');
+    for w in &widths {
+        out.push_str(&"-".repeat(w + 2));
+        out.push('|');
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// A named data series for plotting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` samples.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    #[must_use]
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series { label: label.into(), points }
+    }
+}
+
+const MARKS: &[char] = &['*', '+', 'o', 'x', '#', '@'];
+
+/// Renders one or more series as a terminal scatter chart with axis
+/// annotations. Infinite or NaN samples are skipped.
+#[must_use]
+pub fn line_chart(series: &[Series], width: usize, height: usize) -> String {
+    let width = width.max(16);
+    let height = height.max(6);
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if pts.is_empty() {
+        return "(no finite data)\n".to_owned();
+    }
+    let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (x, y) in &pts {
+        xmin = xmin.min(*x);
+        xmax = xmax.max(*x);
+        ymin = ymin.min(*y);
+        ymax = ymax.max(*y);
+    }
+    if xmax == xmin {
+        xmax = xmin + 1.0;
+    }
+    if ymax == ymin {
+        ymax = ymin + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        for &(x, y) in &s.points {
+            if !x.is_finite() || !y.is_finite() {
+                continue;
+            }
+            let col = ((x - xmin) / (xmax - xmin) * (width - 1) as f64).round() as usize;
+            let row = ((y - ymin) / (ymax - ymin) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row.min(height - 1);
+            grid[row][col.min(width - 1)] = mark;
+        }
+    }
+    let mut out = String::new();
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("  [{}] {}\n", MARKS[si % MARKS.len()], s.label));
+    }
+    out.push_str(&format!("  y: {ymin:.4} .. {ymax:.4}\n"));
+    for row in grid {
+        out.push_str("  |");
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push_str("  +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!("   x: {xmin:.4} .. {xmax:.4}\n"));
+    out
+}
+
+/// Renders a horizontal-bar histogram of `values` over `bins` equal
+/// buckets, with counts and bucket ranges annotated. Non-finite values
+/// are counted separately.
+#[must_use]
+pub fn histogram(values: &[f64], bins: usize, width: usize) -> String {
+    let bins = bins.max(1);
+    let width = width.max(8);
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let dropped = values.len() - finite.len();
+    if finite.is_empty() {
+        return "(no finite data)\n".to_owned();
+    }
+    let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(f64::MIN_POSITIVE);
+    let mut counts = vec![0usize; bins];
+    for v in &finite {
+        let idx = (((v - lo) / span) * bins as f64) as usize;
+        counts[idx.min(bins - 1)] += 1;
+    }
+    let max_count = counts.iter().copied().max().unwrap_or(1).max(1);
+    let mut out = String::new();
+    for (i, count) in counts.iter().enumerate() {
+        let b_lo = lo + span * i as f64 / bins as f64;
+        let b_hi = lo + span * (i + 1) as f64 / bins as f64;
+        let bar_len = (count * width).div_ceil(max_count);
+        let bar: String = "#".repeat(if *count == 0 { 0 } else { bar_len.max(1) });
+        out.push_str(&format!("  [{b_lo:8.3}, {b_hi:8.3})  {count:6}  {bar}\n"));
+    }
+    if dropped > 0 {
+        out.push_str(&format!("  (+ {dropped} non-finite samples)\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let out = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer-name".into(), "123.456".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines have equal width.
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+        assert!(out.contains("longer-name"));
+    }
+
+    #[test]
+    fn chart_contains_marks_and_axes() {
+        let s = Series::new("cr", vec![(3.0, 5.2), (5.0, 4.4), (7.0, 4.0)]);
+        let out = line_chart(&[s], 40, 10);
+        assert!(out.contains('*'));
+        assert!(out.contains("x: 3.0000 .. 7.0000"));
+        assert!(out.contains("[*] cr"));
+    }
+
+    #[test]
+    fn chart_skips_non_finite() {
+        let s = Series::new("bad", vec![(f64::NAN, 1.0), (1.0, f64::INFINITY)]);
+        assert_eq!(line_chart(&[s], 40, 10), "(no finite data)\n");
+    }
+
+    #[test]
+    fn chart_handles_degenerate_ranges() {
+        let s = Series::new("flat", vec![(1.0, 2.0), (1.0, 2.0)]);
+        let out = line_chart(&[s], 20, 8);
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    fn multiple_series_use_distinct_marks() {
+        let a = Series::new("a", vec![(0.0, 0.0)]);
+        let b = Series::new("b", vec![(1.0, 1.0)]);
+        let out = line_chart(&[a, b], 30, 8);
+        assert!(out.contains('*') && out.contains('+'));
+    }
+
+    #[test]
+    fn histogram_counts_and_bars() {
+        let values = vec![1.0, 1.1, 1.2, 2.9, 3.0];
+        let out = histogram(&values, 2, 20);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains('#'));
+        // First bucket holds three samples, second holds two.
+        assert!(lines[0].contains("3"));
+        assert!(lines[1].contains("2"));
+    }
+
+    #[test]
+    fn histogram_reports_non_finite() {
+        let out = histogram(&[1.0, f64::INFINITY], 4, 20);
+        assert!(out.contains("non-finite"));
+        assert_eq!(histogram(&[f64::NAN], 4, 20), "(no finite data)\n");
+    }
+
+    #[test]
+    fn histogram_handles_constant_data() {
+        let out = histogram(&[5.0; 10], 3, 20);
+        assert!(out.contains("10"));
+    }
+}

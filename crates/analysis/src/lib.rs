@@ -1,0 +1,47 @@
+//! # faultline-analysis
+//!
+//! The evaluation toolkit that regenerates every table and figure of
+//! *Search on a Line with Faulty Robots* (PODC 2016):
+//!
+//! * [`table1`] — Table 1 (upper/lower bounds and expansion factors for
+//!   the paper's `(n, f)` pairs) with an empirical cross-check column.
+//! * [`fig5`] — both Figure 5 curves with the corollary envelopes and a
+//!   measured overlay.
+//! * [`figures`] — data generators for the illustrative Figures 1–4,
+//!   6, 7 (CSV and SVG export).
+//! * [`supremum`] — empirical competitive-ratio measurement through two
+//!   independent paths (analytic coverage and the event simulator).
+//! * [`ablation`] — the beta-sweep and fault-misestimation ablations.
+//! * [`ascii`] / [`svg`] — terminal tables/charts and SVG space–time
+//!   diagrams.
+//! * [`report`] — paper-vs-measured markdown reports (EXPERIMENTS.md).
+//! * [`parallel`] — crossbeam-based parallel sweeps.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+// `!(x > limit)` deliberately rejects NaN where `x <= limit` would not.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod ablation;
+pub mod ascii;
+pub mod average_case;
+pub mod bounded;
+pub mod convergence;
+pub mod fig5;
+pub mod figures;
+pub mod group_search;
+pub mod parallel;
+pub mod randomized;
+pub mod report;
+pub mod supremum;
+pub mod svg;
+pub mod table1;
+pub mod timeline;
+pub mod turncost;
+pub mod verification;
+
+pub use ascii::{line_chart, render_table, Series};
+pub use figures::FigureData;
+pub use report::{Comparison, ExperimentReport};
+pub use supremum::{measure_strategy_cr, measure_strategy_cr_sim, MeasuredCr};
+pub use table1::Table1Row;

@@ -1,0 +1,127 @@
+//! Markdown report generation: the machinery behind EXPERIMENTS.md,
+//! recording paper-vs-measured values for every table and figure.
+
+use serde::{Deserialize, Serialize};
+
+/// One paper-vs-measured comparison line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// What is being compared (e.g. `"CR of A(3,1)"`).
+    pub quantity: String,
+    /// The value the paper reports.
+    pub paper: String,
+    /// The value this reproduction measures or computes.
+    pub measured: String,
+    /// Whether the reproduction matches to the printed precision (or
+    /// the documented shape criterion).
+    pub matches: bool,
+    /// Free-form note (tolerance, known rounding discrepancy, ...).
+    pub note: String,
+}
+
+/// A report section for one experiment (a table or a figure).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Experiment id, e.g. `"table1"` or `"fig5-left"`.
+    pub id: String,
+    /// Section title.
+    pub title: String,
+    /// How the experiment is regenerated (`cargo` command).
+    pub regenerate: String,
+    /// The comparisons.
+    pub comparisons: Vec<Comparison>,
+}
+
+impl ExperimentReport {
+    /// Renders the section as markdown.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("## {} — {}\n\n", self.id, self.title);
+        out.push_str(&format!("Regenerate with: `{}`\n\n", self.regenerate));
+        out.push_str("| quantity | paper | measured | match | note |\n");
+        out.push_str("|---|---|---|---|---|\n");
+        for c in &self.comparisons {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} |\n",
+                c.quantity,
+                c.paper,
+                c.measured,
+                if c.matches { "yes" } else { "NO" },
+                c.note
+            ));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Whether every comparison in the section matches.
+    #[must_use]
+    pub fn all_match(&self) -> bool {
+        self.comparisons.iter().all(|c| c.matches)
+    }
+}
+
+/// Renders a full report document from sections.
+#[must_use]
+pub fn render_report(title: &str, sections: &[ExperimentReport]) -> String {
+    let mut out = format!("# {title}\n\n");
+    let total: usize = sections.iter().map(|s| s.comparisons.len()).sum();
+    let matching: usize = sections
+        .iter()
+        .map(|s| s.comparisons.iter().filter(|c| c.matches).count())
+        .sum();
+    out.push_str(&format!("{matching}/{total} comparisons match.\n\n"));
+    for s in sections {
+        out.push_str(&s.to_markdown());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentReport {
+        ExperimentReport {
+            id: "table1".into(),
+            title: "Table 1".into(),
+            regenerate: "cargo run -p faultline-bench --bin repro -- table1".into(),
+            comparisons: vec![
+                Comparison {
+                    quantity: "CR of A(3,1)".into(),
+                    paper: "5.24".into(),
+                    measured: "5.233".into(),
+                    matches: true,
+                    note: "within print precision".into(),
+                },
+                Comparison {
+                    quantity: "alpha(41)".into(),
+                    paper: "3.12".into(),
+                    measured: "3.1357".into(),
+                    matches: false,
+                    note: "paper prints a conservative rounding".into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn markdown_structure() {
+        let md = sample().to_markdown();
+        assert!(md.contains("## table1"));
+        assert!(md.contains("| CR of A(3,1) | 5.24 | 5.233 | yes |"));
+        assert!(md.contains("| alpha(41) | 3.12 | 3.1357 | NO |"));
+    }
+
+    #[test]
+    fn all_match_detects_mismatch() {
+        assert!(!sample().all_match());
+    }
+
+    #[test]
+    fn report_counts_matches() {
+        let doc = render_report("EXPERIMENTS", &[sample()]);
+        assert!(doc.contains("1/2 comparisons match."));
+        assert!(doc.starts_with("# EXPERIMENTS"));
+    }
+}

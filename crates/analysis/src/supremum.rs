@@ -1,0 +1,158 @@
+//! Empirical competitive-ratio measurement: supremum scans of `K(x)`
+//! over adversarial target grids, via the analytic coverage path and,
+//! independently, via the discrete-event simulator.
+
+use faultline_core::coverage::{adversarial_targets, Fleet};
+use faultline_core::{Params, Result};
+use faultline_strategies::Strategy;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of an empirical competitive-ratio measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredCr {
+    /// The strategy's claimed analytic ratio, when it has one.
+    pub analytic: Option<f64>,
+    /// The measured supremum of `K(x)` over the target grid.
+    pub empirical: f64,
+    /// The target achieving the supremum.
+    pub argmax: f64,
+    /// Number of scanned targets not confirmed within the horizon
+    /// (non-zero means the strategy's coverage is incomplete and
+    /// `empirical` is infinite).
+    pub uncovered: usize,
+}
+
+/// Relative offset used to probe the right-hand limits at turning
+/// points, where the supremum of `K` lives (Lemma 3).
+pub const TURNING_POINT_EPS: f64 = 1e-9;
+
+/// Builds the adversarial target grid for a materialized fleet: all
+/// turning points of all robots within `[1, xmax]`, their right-hand
+/// limits, a log grid, and the mirror images.
+///
+/// # Errors
+///
+/// Propagates grid construction failures.
+pub fn fleet_targets(fleet: &Fleet, xmax: f64, grid_points: usize) -> Result<Vec<f64>> {
+    let turning: Vec<f64> = fleet
+        .trajectories()
+        .iter()
+        .flat_map(|t| t.turning_points())
+        .map(|p| p.x)
+        .collect();
+    adversarial_targets(&turning, xmax, grid_points, TURNING_POINT_EPS)
+}
+
+/// Measures the competitive ratio of a strategy for `params` by
+/// scanning `K(x) = T_(f+1)(x)/|x|` over the adversarial grid up to
+/// `xmax`, using the analytic coverage path.
+///
+/// # Errors
+///
+/// Propagates plan generation, materialization and scan failures.
+pub fn measure_strategy_cr(
+    strategy: &dyn Strategy,
+    params: Params,
+    xmax: f64,
+    grid_points: usize,
+) -> Result<MeasuredCr> {
+    let plans = strategy.plans(params)?;
+    let horizon = strategy.horizon_hint(params, xmax * (1.0 + 2.0 * TURNING_POINT_EPS));
+    let fleet = Fleet::from_plans(&plans, horizon)?;
+    let targets = fleet_targets(&fleet, xmax, grid_points)?;
+    let scan = fleet.supremum(&targets, params.required_visits())?;
+    Ok(MeasuredCr {
+        analytic: strategy.analytic_cr(params),
+        empirical: scan.ratio,
+        argmax: scan.argmax,
+        uncovered: scan.uncovered,
+    })
+}
+
+/// Measures the competitive ratio of a strategy through the
+/// discrete-event simulator with the worst-case fault adversary — an
+/// execution path entirely independent of [`measure_strategy_cr`].
+///
+/// # Errors
+///
+/// Propagates plan generation and simulation failures.
+pub fn measure_strategy_cr_sim(
+    strategy: &dyn Strategy,
+    params: Params,
+    xmax: f64,
+    grid_points: usize,
+) -> Result<MeasuredCr> {
+    let plans = strategy.plans(params)?;
+    let horizon = strategy.horizon_hint(params, xmax * (1.0 + 2.0 * TURNING_POINT_EPS));
+    let fleet = Fleet::from_plans(&plans, horizon)?;
+    let targets = fleet_targets(&fleet, xmax, grid_points)?;
+    let result =
+        faultline_sim::empirical_competitive_ratio(&plans, params.f(), &targets, horizon)?;
+    Ok(MeasuredCr {
+        analytic: strategy.analytic_cr(params),
+        empirical: result.ratio,
+        argmax: result.argmax,
+        uncovered: result.undetected,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultline_strategies::{HerdDoublingStrategy, PaperStrategy, PessimalSplitStrategy};
+
+    #[test]
+    fn paper_strategy_measures_at_its_analytic_cr() {
+        for (n, f) in [(2usize, 1usize), (3, 1), (3, 2), (4, 2), (5, 2), (5, 3)] {
+            let params = Params::new(n, f).unwrap();
+            let m = measure_strategy_cr(&PaperStrategy::new(), params, 40.0, 120).unwrap();
+            let analytic = m.analytic.unwrap();
+            assert_eq!(m.uncovered, 0, "(n = {n}, f = {f})");
+            assert!(
+                m.empirical <= analytic + 1e-6,
+                "(n = {n}, f = {f}): empirical {} above analytic {analytic}",
+                m.empirical
+            );
+            // The supremum is essentially attained at turning-point
+            // right-hand limits within the scanned window.
+            assert!(
+                m.empirical >= analytic - 1e-3,
+                "(n = {n}, f = {f}): empirical {} far below analytic {analytic}",
+                m.empirical
+            );
+        }
+    }
+
+    #[test]
+    fn sim_path_agrees_with_coverage_path() {
+        let params = Params::new(3, 1).unwrap();
+        let a = measure_strategy_cr(&PaperStrategy::new(), params, 20.0, 60).unwrap();
+        let b = measure_strategy_cr_sim(&PaperStrategy::new(), params, 20.0, 60).unwrap();
+        assert!((a.empirical - b.empirical).abs() < 1e-9);
+        assert_eq!(a.uncovered, b.uncovered);
+    }
+
+    #[test]
+    fn herd_doubling_measures_below_nine() {
+        let params = Params::new(3, 2).unwrap();
+        let m = measure_strategy_cr(&HerdDoublingStrategy::new(), params, 600.0, 100).unwrap();
+        assert_eq!(m.uncovered, 0);
+        assert!(m.empirical <= 9.0 + 1e-9);
+        assert!(m.empirical > 8.5, "worst case approaches 9, got {}", m.empirical);
+    }
+
+    #[test]
+    fn pessimal_split_is_caught_uncovered() {
+        let params = Params::new(3, 1).unwrap();
+        let m = measure_strategy_cr(&PessimalSplitStrategy::new(), params, 10.0, 20).unwrap();
+        assert!(m.empirical.is_infinite());
+        assert!(m.uncovered > 0);
+    }
+
+    #[test]
+    fn two_group_through_paper_strategy_measures_one() {
+        let params = Params::new(6, 2).unwrap();
+        let m = measure_strategy_cr(&PaperStrategy::new(), params, 30.0, 50).unwrap();
+        assert!((m.empirical - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,116 @@
+//! Terminal space–time timeline: robot positions rastered over time,
+//! the textual analogue of the paper's trajectory figures.
+//!
+//! Each output row is one sampled instant (time increases downward);
+//! each column is a position bin. Robots are drawn as their index digit
+//! (`0`–`9`, then `a`–`z`), collisions as `*`, the target column as `|`.
+
+use faultline_core::{numeric, Error, PiecewiseTrajectory, Result};
+
+/// Renders the timeline of a fleet.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameters`] for an empty fleet and
+/// [`Error::Domain`] for degenerate dimensions.
+pub fn render_timeline(
+    trajectories: &[PiecewiseTrajectory],
+    target: Option<f64>,
+    rows: usize,
+    width: usize,
+) -> Result<String> {
+    if trajectories.is_empty() {
+        return Err(Error::invalid_params(0, 0, "timeline needs at least one robot"));
+    }
+    if rows < 2 || width < 16 {
+        return Err(Error::domain("timeline needs at least 2 rows and width 16"));
+    }
+    let horizon = trajectories
+        .iter()
+        .map(PiecewiseTrajectory::horizon)
+        .fold(f64::INFINITY, f64::min);
+    let mut reach = trajectories.iter().map(PiecewiseTrajectory::max_excursion).fold(
+        1.0f64,
+        f64::max,
+    );
+    if let Some(x) = target {
+        reach = reach.max(x.abs());
+    }
+    reach *= 1.02;
+
+    let column_of = |x: f64| -> usize {
+        (((x + reach) / (2.0 * reach)) * (width - 1) as f64).round() as usize % width
+    };
+    let glyph_of = |robot: usize| -> char {
+        match robot {
+            0..=9 => (b'0' + robot as u8) as char,
+            10..=35 => (b'a' + (robot - 10) as u8) as char,
+            _ => '+',
+        }
+    };
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "position {:+.3} .. {:+.3}; robots drawn as digits, collisions as '*'\n",
+        -reach, reach
+    ));
+    for t in numeric::linspace(0.0, horizon, rows) {
+        let mut line = vec![' '; width];
+        if let Some(x) = target {
+            line[column_of(x)] = '|';
+        }
+        line[column_of(0.0)] = if line[column_of(0.0)] == '|' { '|' } else { '.' };
+        for (i, traj) in trajectories.iter().enumerate() {
+            if let Some(x) = traj.position_at(t) {
+                let col = column_of(x);
+                line[col] = if line[col] == ' ' || line[col] == '.' || line[col] == '|' {
+                    glyph_of(i)
+                } else {
+                    '*'
+                };
+            }
+        }
+        out.push_str(&format!("t = {t:9.3} "));
+        out.extend(line);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultline_core::{Algorithm, Params, TrajectoryBuilder};
+
+    #[test]
+    fn validates_inputs() {
+        assert!(render_timeline(&[], None, 10, 40).is_err());
+        let t = TrajectoryBuilder::from_origin().sweep_to(2.0).finish().unwrap();
+        assert!(render_timeline(std::slice::from_ref(&t), None, 1, 40).is_err());
+        assert!(render_timeline(&[t], None, 10, 4).is_err());
+    }
+
+    #[test]
+    fn renders_the_paper_algorithm() {
+        let alg = Algorithm::design(Params::new(3, 1).unwrap()).unwrap();
+        let trajs: Vec<_> =
+            alg.plans().iter().map(|p| p.materialize(40.0).unwrap()).collect();
+        let text = render_timeline(&trajs, Some(-4.0), 20, 60).unwrap();
+        assert_eq!(text.lines().count(), 21); // header + 20 rows
+        assert!(text.contains('0') && text.contains('1') && text.contains('2'));
+        assert!(text.contains('|'), "target column marked");
+        // All robots start together: the first raster row shows a
+        // collision at the origin.
+        let first_row = text.lines().nth(1).unwrap();
+        assert!(first_row.contains('*'), "{first_row}");
+    }
+
+    #[test]
+    fn robot_glyphs_extend_past_ten() {
+        let alg = Algorithm::design(Params::new(11, 5).unwrap()).unwrap();
+        let trajs: Vec<_> =
+            alg.plans().iter().map(|p| p.materialize(30.0).unwrap()).collect();
+        let text = render_timeline(&trajs, None, 12, 72).unwrap();
+        assert!(text.contains('a'), "robot 10 drawn as 'a'");
+    }
+}

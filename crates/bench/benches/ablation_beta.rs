@@ -1,0 +1,38 @@
+//! Benchmark: the beta-ablation sweep (Ablation A1) and the
+//! fault-misestimation table (Ablation A3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use faultline_analysis::ablation;
+use faultline_core::Params;
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+
+    group.bench_function("beta_sweep_analytic_a3_1", |b| {
+        let params = Params::new(3, 1).expect("params");
+        b.iter(|| black_box(ablation::beta_sweep(params, 33, false).expect("sweep")));
+    });
+
+    group.bench_function("beta_sweep_measured_a3_1", |b| {
+        let params = Params::new(3, 1).expect("params");
+        b.iter(|| black_box(ablation::beta_sweep(params, 9, true).expect("sweep")));
+    });
+
+    group.bench_function("fault_misestimation_n5", |b| {
+        b.iter(|| {
+            for f_design in [2usize, 3] {
+                black_box(ablation::fault_misestimation(5, f_design).expect("misestimation"));
+            }
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_ablation
+}
+criterion_main!(benches);

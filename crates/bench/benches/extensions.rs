@@ -1,0 +1,52 @@
+//! Benchmark: the extension experiments — bounded-distance clamping,
+//! turn-cost evaluation and the arrival-index spectrum.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use faultline_analysis::{bounded, group_search, turncost};
+use faultline_core::Params;
+use faultline_strategies::PaperStrategy;
+use std::hint::black_box;
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions");
+    let params = Params::new(3, 1).expect("params");
+
+    group.bench_function("bounded_cr_d8", |b| {
+        b.iter(|| black_box(bounded::bounded_cr(params, 8.0, 48).expect("bounded")));
+    });
+
+    group.bench_function("bound_sweep_4_points", |b| {
+        b.iter(|| {
+            black_box(
+                bounded::bound_sweep(params, &[1.5, 3.0, 8.0, 30.0], 32).expect("sweep"),
+            )
+        });
+    });
+
+    group.bench_function("turncost_cr_c2", |b| {
+        b.iter(|| black_box(turncost::cost_cr(params, 5.0 / 3.0, 2.0, 25.0, 48).expect("cost")));
+    });
+
+    group.bench_function("turncost_reoptimize_beta_c2", |b| {
+        b.iter(|| black_box(turncost::sweep(params, &[2.0], 25.0, 24).expect("sweep")));
+    });
+
+    group.bench_function("k_spectrum_a5_2", |b| {
+        let params = Params::new(5, 2).expect("params");
+        b.iter(|| {
+            black_box(
+                group_search::k_spectrum(&PaperStrategy::new(), params, 12.0, 24)
+                    .expect("spectrum"),
+            )
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_extensions
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Benchmark: regenerating both **Figure 5** curves, analytically and
+//! with the empirical overlay.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use faultline_analysis::fig5;
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+
+    group.bench_function("left_analytic_n3_to_41", |b| {
+        b.iter(|| black_box(fig5::fig5_left(3, 41, 0).expect("fig5 left")));
+    });
+
+    group.bench_function("left_measured_n3_to_9", |b| {
+        b.iter(|| black_box(fig5::fig5_left(3, 9, 9).expect("fig5 left measured")));
+    });
+
+    group.bench_function("right_101_samples", |b| {
+        b.iter(|| black_box(fig5::fig5_right(101).expect("fig5 right")));
+    });
+
+    group.bench_function("render_left", |b| {
+        let samples = fig5::fig5_left(3, 41, 0).expect("fig5 left");
+        b.iter(|| black_box(fig5::render_left(black_box(&samples))));
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fig5
+}
+criterion_main!(benches);

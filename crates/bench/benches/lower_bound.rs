@@ -1,0 +1,49 @@
+//! Benchmark: Theorem 2 machinery — the `alpha(n)` solver, adversarial
+//! placements and the executable adversary game against `A(n, f)`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use faultline_core::{lower_bound, Algorithm, Params};
+use std::hint::black_box;
+
+fn bench_lower_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lower_bound");
+
+    for n in [3usize, 41, 1001] {
+        group.bench_function(format!("alpha_n{n}"), |b| {
+            b.iter(|| black_box(lower_bound::alpha(black_box(n)).expect("alpha")));
+        });
+    }
+
+    group.bench_function("adversary_points_n41", |b| {
+        let a = lower_bound::alpha(41).expect("alpha");
+        b.iter(|| black_box(lower_bound::adversary_points(41, a).expect("points")));
+    });
+
+    group.bench_function("adversary_game_a3_1", |b| {
+        let params = Params::new(3, 1).expect("params");
+        let alg = Algorithm::design(params).expect("design");
+        let alpha = lower_bound::alpha(3).expect("alpha");
+        let points = lower_bound::adversary_points(3, alpha).expect("points");
+        let xmax = points[0] * 1.1;
+        let horizon = alg.required_horizon(xmax).expect("horizon");
+        let trajectories: Vec<_> = alg
+            .plans()
+            .iter()
+            .map(|p| p.materialize(horizon).expect("materialize"))
+            .collect();
+        b.iter(|| {
+            black_box(
+                lower_bound::adversarial_ratio(&trajectories, 1, 3, alpha).expect("game"),
+            )
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_lower_bound
+}
+criterion_main!(benches);

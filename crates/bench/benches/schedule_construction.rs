@@ -1,0 +1,47 @@
+//! Benchmark: core data-structure costs — designing `A(n, f)`,
+//! materializing zig-zag fleets, and coverage queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use faultline_core::coverage::Fleet;
+use faultline_core::{Algorithm, Params, ProportionalSchedule};
+use std::hint::black_box;
+
+fn bench_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule");
+
+    for &(n, f) in &[(3usize, 1usize), (11, 5), (41, 20), (201, 100)] {
+        let params = Params::new(n, f).expect("params");
+        group.bench_function(format!("design_n{n}_f{f}"), |b| {
+            b.iter(|| black_box(Algorithm::design(black_box(params)).expect("design")));
+        });
+    }
+
+    for &(n, f) in &[(3usize, 1usize), (11, 5), (41, 20)] {
+        let params = Params::new(n, f).expect("params");
+        let alg = Algorithm::design(params).expect("design");
+        let horizon = alg.required_horizon(100.0).expect("horizon");
+        group.bench_function(format!("materialize_fleet_n{n}_f{f}"), |b| {
+            let plans = alg.plans();
+            b.iter(|| black_box(Fleet::from_plans(&plans, horizon).expect("fleet")));
+        });
+
+        let fleet = Fleet::from_plans(&alg.plans(), horizon).expect("fleet");
+        group.bench_function(format!("visit_time_query_n{n}_f{f}"), |b| {
+            b.iter(|| black_box(fleet.visit_time(black_box(73.2), f + 1)));
+        });
+    }
+
+    group.bench_function("turning_points_1000", |b| {
+        let schedule = ProportionalSchedule::new(11, 13.0 / 11.0).expect("schedule");
+        b.iter(|| black_box(schedule.interleaved_turning_points(black_box(1000))));
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_schedule
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Benchmark: discrete-event simulator throughput — single worst-case
+//! searches and Monte-Carlo sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use faultline_core::{Algorithm, Params};
+use faultline_sim::engine::SimConfig;
+use faultline_sim::{
+    run_sweep, worst_case_outcome, BernoulliFaults, MonteCarloConfig, Target,
+};
+use faultline_strategies::{PaperStrategy, Strategy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+
+    for &(n, f) in &[(3usize, 1usize), (5, 2), (11, 5)] {
+        let params = Params::new(n, f).expect("params");
+        let alg = Algorithm::design(params).expect("design");
+        let horizon = alg.required_horizon(60.0).expect("horizon");
+        let trajectories: Vec<_> = alg
+            .plans()
+            .iter()
+            .map(|p| p.materialize(horizon).expect("materialize"))
+            .collect();
+        group.bench_function(format!("worst_case_search_n{n}_f{f}"), |b| {
+            b.iter(|| {
+                black_box(
+                    worst_case_outcome(
+                        trajectories.clone(),
+                        Target::new(black_box(47.3)).expect("target"),
+                        f,
+                        SimConfig::default(),
+                    )
+                    .expect("outcome"),
+                )
+            });
+        });
+    }
+
+    group.bench_function("montecarlo_500_samples_a5_2", |b| {
+        let params = Params::new(5, 2).expect("params");
+        let strategy = PaperStrategy::new();
+        let plans = strategy.plans(params).expect("plans");
+        let horizon = strategy.horizon_hint(params, 51.0);
+        b.iter(|| {
+            let mut faults =
+                BernoulliFaults::new(0.3, 2, StdRng::seed_from_u64(5)).expect("faults");
+            let mut rng = StdRng::seed_from_u64(7);
+            black_box(
+                run_sweep(
+                    &plans,
+                    &mut faults,
+                    MonteCarloConfig::new(500, 50.0).expect("config"),
+                    horizon,
+                    &mut rng,
+                )
+                .expect("sweep"),
+            )
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_simulator
+}
+criterion_main!(benches);

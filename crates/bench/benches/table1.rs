@@ -1,0 +1,44 @@
+//! Benchmark: regenerating **Table 1** (analytic closed forms, and the
+//! full empirical supremum scan for representative rows).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use faultline_analysis::table1;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+
+    group.bench_function("analytic_all_rows", |b| {
+        b.iter(|| {
+            let rows = table1::regenerate(black_box(false)).expect("regenerate");
+            black_box(rows)
+        });
+    });
+
+    for &(n, f) in &[(3usize, 1usize), (5, 2), (11, 5)] {
+        group.bench_function(format!("measured_row_n{n}_f{f}"), |b| {
+            b.iter_batched(
+                || (),
+                |()| {
+                    let row = table1::regenerate_row(n, f, true).expect("row");
+                    black_box(row)
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+
+    group.bench_function("render", |b| {
+        let rows = table1::regenerate(false).expect("regenerate");
+        b.iter(|| black_box(table1::render(black_box(&rows))));
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_table1
+}
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! # faultline-bench
+//!
+//! Criterion benchmarks and the `repro` harness that regenerates every
+//! table and figure of the paper. See the `benches/` directory for the
+//! per-experiment benchmarks and `src/bin/repro.rs` for the harness.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+/// Workspace version, re-exported for the harness banner.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

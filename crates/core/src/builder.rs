@@ -1,0 +1,178 @@
+//! A builder for proportional schedules ([C-BUILDER]): configure by
+//! whichever parameter is natural — cone slope `beta`, expansion factor
+//! `kappa`, or proportionality ratio `r` — and let the builder derive
+//! the rest.
+//!
+//! The three parameterizations are linked by
+//! `kappa = (beta + 1)/(beta - 1)` and `r = kappa^(2/n)`, so exactly
+//! one of them must be supplied.
+
+use crate::error::{Error, Result};
+use crate::schedule::ProportionalSchedule;
+
+/// Builder for [`ProportionalSchedule`].
+///
+/// ```
+/// use faultline_core::builder::ScheduleBuilder;
+/// // A(3, 1) three equivalent ways:
+/// let by_beta = ScheduleBuilder::new(3).beta(5.0 / 3.0).build()?;
+/// let by_kappa = ScheduleBuilder::new(3).expansion_factor(4.0).build()?;
+/// let by_ratio = ScheduleBuilder::new(3).ratio(4.0_f64.powf(2.0 / 3.0)).build()?;
+/// assert!((by_beta.beta() - by_kappa.beta()).abs() < 1e-12);
+/// assert!((by_beta.beta() - by_ratio.beta()).abs() < 1e-12);
+/// # Ok::<(), faultline_core::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleBuilder {
+    n: usize,
+    base: f64,
+    shape: Option<Shape>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Shape {
+    Beta(f64),
+    Kappa(f64),
+    Ratio(f64),
+    OptimalFor { f: usize },
+}
+
+impl ScheduleBuilder {
+    /// Starts a builder for `n` robots with `base = 1`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        ScheduleBuilder { n, base: 1.0, shape: None }
+    }
+
+    /// Sets the cone slope `beta` directly.
+    #[must_use]
+    pub fn beta(mut self, beta: f64) -> Self {
+        self.shape = Some(Shape::Beta(beta));
+        self
+    }
+
+    /// Sets the per-robot expansion factor `kappa` (`beta` is derived
+    /// as `(kappa + 1)/(kappa - 1)`).
+    #[must_use]
+    pub fn expansion_factor(mut self, kappa: f64) -> Self {
+        self.shape = Some(Shape::Kappa(kappa));
+        self
+    }
+
+    /// Sets the interleaved proportionality ratio `r` (`kappa = r^(n/2)`).
+    #[must_use]
+    pub fn ratio(mut self, r: f64) -> Self {
+        self.shape = Some(Shape::Ratio(r));
+        self
+    }
+
+    /// Uses the Theorem 1 optimal `beta* = (4f+4)/n - 1` for a fault
+    /// budget `f` (requires `f < n < 2f + 2` at build time).
+    #[must_use]
+    pub fn optimal_for_faults(mut self, f: usize) -> Self {
+        self.shape = Some(Shape::OptimalFor { f });
+        self
+    }
+
+    /// Sets the normalization `base` (robot `a_0`'s reference turning
+    /// point; default 1).
+    #[must_use]
+    pub fn base(mut self, base: f64) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Builds the schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when no shape parameter was supplied, the
+    /// derived `beta` is not above 1, `n == 0`, or `base <= 0`.
+    pub fn build(&self) -> Result<ProportionalSchedule> {
+        let shape = self.shape.ok_or_else(|| {
+            Error::domain(
+                "schedule builder needs exactly one of beta / expansion_factor / ratio / \
+                 optimal_for_faults",
+            )
+        })?;
+        let beta = match shape {
+            Shape::Beta(beta) => beta,
+            Shape::Kappa(kappa) => {
+                if !(kappa > 1.0) || !kappa.is_finite() {
+                    return Err(Error::domain(format!(
+                        "expansion factor must exceed 1, got {kappa}"
+                    )));
+                }
+                (kappa + 1.0) / (kappa - 1.0)
+            }
+            Shape::Ratio(r) => {
+                if !(r > 1.0) || !r.is_finite() {
+                    return Err(Error::domain(format!(
+                        "proportionality ratio must exceed 1, got {r}"
+                    )));
+                }
+                let kappa = r.powf(self.n as f64 / 2.0);
+                (kappa + 1.0) / (kappa - 1.0)
+            }
+            Shape::OptimalFor { f } => {
+                let params = crate::params::Params::new(self.n, f)?;
+                crate::ratio::optimal_beta(params)?
+            }
+        };
+        ProportionalSchedule::with_base(self.n, beta, self.base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::numeric::approx_eq;
+
+    #[test]
+    fn requires_a_shape_parameter() {
+        assert!(ScheduleBuilder::new(3).build().is_err());
+    }
+
+    #[test]
+    fn three_parameterizations_agree() {
+        let n = 5;
+        let beta = 1.4_f64;
+        let kappa = (beta + 1.0) / (beta - 1.0);
+        let r = kappa.powf(2.0 / n as f64);
+        let a = ScheduleBuilder::new(n).beta(beta).build().unwrap();
+        let b = ScheduleBuilder::new(n).expansion_factor(kappa).build().unwrap();
+        let c = ScheduleBuilder::new(n).ratio(r).build().unwrap();
+        assert!(approx_eq(a.beta(), b.beta(), 1e-12));
+        assert!(approx_eq(a.beta(), c.beta(), 1e-12));
+        assert!(approx_eq(a.ratio(), r, 1e-12));
+    }
+
+    #[test]
+    fn optimal_shape_matches_theorem1() {
+        let s = ScheduleBuilder::new(3).optimal_for_faults(1).build().unwrap();
+        assert!(approx_eq(s.beta(), 5.0 / 3.0, 1e-12));
+        // Out of regime: (4, 1) is two-group.
+        assert!(ScheduleBuilder::new(4).optimal_for_faults(1).build().is_err());
+    }
+
+    #[test]
+    fn base_is_threaded_through() {
+        let s = ScheduleBuilder::new(3).beta(2.0).base(5.0).build().unwrap();
+        assert_eq!(s.base(), 5.0);
+        assert!(ScheduleBuilder::new(3).beta(2.0).base(0.0).build().is_err());
+    }
+
+    #[test]
+    fn invalid_shapes_rejected() {
+        assert!(ScheduleBuilder::new(3).beta(1.0).build().is_err());
+        assert!(ScheduleBuilder::new(3).expansion_factor(0.9).build().is_err());
+        assert!(ScheduleBuilder::new(3).ratio(1.0).build().is_err());
+        assert!(ScheduleBuilder::new(0).beta(2.0).build().is_err());
+    }
+
+    #[test]
+    fn last_shape_wins() {
+        let s = ScheduleBuilder::new(3).beta(9.0).expansion_factor(4.0).build().unwrap();
+        assert!(approx_eq(s.beta(), 5.0 / 3.0, 1e-12));
+    }
+}

@@ -1,0 +1,254 @@
+//! Trajectory *plans*: potentially infinite motion descriptions that can
+//! be materialized into finite [`PiecewiseTrajectory`] values up to any
+//! time horizon.
+//!
+//! Zig-zag strategies have infinitely many turning points, so algorithms
+//! hand out plans rather than trajectories; simulators and evaluators
+//! choose the horizon they need.
+
+use crate::error::{Error, Result};
+use crate::spacetime::SpaceTime;
+use crate::trajectory::{PiecewiseTrajectory, TrajectoryBuilder};
+
+/// A motion plan for a single robot, materializable to any horizon.
+///
+/// Implementors must produce trajectories that are defined exactly on
+/// `[0, horizon]` and respect the unit speed limit. The trait is
+/// object-safe so heterogeneous fleets can be stored as
+/// `Vec<Box<dyn TrajectoryPlan>>` ([C-OBJECT]).
+pub trait TrajectoryPlan: std::fmt::Debug + Send + Sync {
+    /// Materializes the plan as a finite trajectory on `[0, horizon]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `horizon` is not strictly positive or the
+    /// plan cannot produce a valid trajectory.
+    fn materialize(&self, horizon: f64) -> Result<PiecewiseTrajectory>;
+
+    /// Short human-readable description of the plan.
+    fn label(&self) -> String;
+}
+
+/// A plan that moves straight from the origin in one direction at unit
+/// speed forever — one member of the trivial two-group strategy for
+/// `n >= 2f + 2`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RayPlan {
+    direction: Direction,
+}
+
+/// Direction of travel along the line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Towards positive positions.
+    Right,
+    /// Towards negative positions.
+    Left,
+}
+
+impl Direction {
+    /// Sign of the direction: `+1.0` or `-1.0`.
+    #[must_use]
+    pub fn sign(&self) -> f64 {
+        match self {
+            Direction::Right => 1.0,
+            Direction::Left => -1.0,
+        }
+    }
+}
+
+impl RayPlan {
+    /// Creates a ray plan in the given direction.
+    #[must_use]
+    pub fn new(direction: Direction) -> Self {
+        RayPlan { direction }
+    }
+
+    /// The travel direction.
+    #[must_use]
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+}
+
+impl TrajectoryPlan for RayPlan {
+    fn materialize(&self, horizon: f64) -> Result<PiecewiseTrajectory> {
+        check_horizon(horizon)?;
+        PiecewiseTrajectory::new(vec![
+            SpaceTime::origin(),
+            SpaceTime::new(self.direction.sign() * horizon, horizon),
+        ])
+    }
+
+    fn label(&self) -> String {
+        match self.direction {
+            Direction::Right => "ray(+)".to_owned(),
+            Direction::Left => "ray(-)".to_owned(),
+        }
+    }
+}
+
+/// A plan that keeps the robot parked at the origin.
+///
+/// Useful as a degenerate baseline and for modelling robots that a
+/// strategy deliberately does not deploy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdlePlan;
+
+impl IdlePlan {
+    /// Creates an idle plan.
+    #[must_use]
+    pub fn new() -> Self {
+        IdlePlan
+    }
+}
+
+impl TrajectoryPlan for IdlePlan {
+    fn materialize(&self, horizon: f64) -> Result<PiecewiseTrajectory> {
+        check_horizon(horizon)?;
+        TrajectoryBuilder::from_origin().hold_until(horizon).finish()
+    }
+
+    fn label(&self) -> String {
+        "idle".to_owned()
+    }
+}
+
+/// A plan that repeats an explicit, finite cycle of target positions at
+/// unit speed and then holds its final position; the workhorse for
+/// hand-rolled baselines such as the classic doubling strategy when
+/// expressed with explicit turning points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaypointCyclePlan {
+    targets: Vec<f64>,
+    label: String,
+}
+
+impl WaypointCyclePlan {
+    /// Creates a plan that visits `targets` in order at unit speed
+    /// starting from the origin, then holds the last target.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidTrajectory`] when `targets` is empty or
+    /// contains non-finite values.
+    pub fn new(targets: Vec<f64>, label: impl Into<String>) -> Result<Self> {
+        if targets.is_empty() {
+            return Err(Error::trajectory("waypoint plan needs at least one target"));
+        }
+        if targets.iter().any(|x| !x.is_finite()) {
+            return Err(Error::trajectory("waypoint targets must be finite"));
+        }
+        Ok(WaypointCyclePlan { targets, label: label.into() })
+    }
+
+    /// The target positions visited by the plan.
+    #[must_use]
+    pub fn targets(&self) -> &[f64] {
+        &self.targets
+    }
+}
+
+impl TrajectoryPlan for WaypointCyclePlan {
+    fn materialize(&self, horizon: f64) -> Result<PiecewiseTrajectory> {
+        check_horizon(horizon)?;
+        let mut builder = TrajectoryBuilder::from_origin();
+        let mut clock = 0.0;
+        let mut position = 0.0;
+        for &target in &self.targets {
+            let arrive = clock + (target - position).abs();
+            if arrive >= horizon {
+                // Cut the final sweep exactly at the horizon.
+                let direction = (target - position).signum();
+                let cut = position + direction * (horizon - clock);
+                builder.glide_to(cut, horizon);
+                return builder.finish();
+            }
+            builder.sweep_to(target);
+            clock = arrive;
+            position = target;
+        }
+        builder.hold_until(horizon);
+        builder.finish()
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// Validates a materialization horizon.
+pub(crate) fn check_horizon(horizon: f64) -> Result<()> {
+    if !(horizon > 0.0) || !horizon.is_finite() {
+        return Err(Error::domain(format!(
+            "materialization horizon must be finite and positive, got {horizon}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ray_reaches_horizon() {
+        let t = RayPlan::new(Direction::Left).materialize(10.0).unwrap();
+        assert_eq!(t.position_at(10.0), Some(-10.0));
+        assert_eq!(t.first_visit(-3.0), Some(3.0));
+        assert_eq!(t.first_visit(3.0), None);
+    }
+
+    #[test]
+    fn ray_rejects_bad_horizon() {
+        assert!(RayPlan::new(Direction::Right).materialize(0.0).is_err());
+        assert!(RayPlan::new(Direction::Right).materialize(-1.0).is_err());
+        assert!(RayPlan::new(Direction::Right).materialize(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn idle_stays_put() {
+        let t = IdlePlan::new().materialize(7.0).unwrap();
+        assert_eq!(t.position_at(3.5), Some(0.0));
+        assert_eq!(t.horizon(), 7.0);
+    }
+
+    #[test]
+    fn waypoint_plan_cuts_at_horizon() {
+        let plan = WaypointCyclePlan::new(vec![1.0, -2.0, 4.0], "doubling-prefix").unwrap();
+        // Horizon 5 lands mid-sweep from -2 towards +4 (sweep starts at t = 4).
+        let t = plan.materialize(5.0).unwrap();
+        assert_eq!(t.horizon(), 5.0);
+        assert_eq!(t.position_at(5.0), Some(-1.0));
+    }
+
+    #[test]
+    fn waypoint_plan_holds_after_targets() {
+        let plan = WaypointCyclePlan::new(vec![2.0], "one-stop").unwrap();
+        let t = plan.materialize(6.0).unwrap();
+        assert_eq!(t.position_at(6.0), Some(2.0));
+        assert_eq!(t.first_visit(2.0), Some(2.0));
+    }
+
+    #[test]
+    fn waypoint_plan_validates_targets() {
+        assert!(WaypointCyclePlan::new(vec![], "empty").is_err());
+        assert!(WaypointCyclePlan::new(vec![f64::NAN], "nan").is_err());
+    }
+
+    #[test]
+    fn plans_are_object_safe() {
+        let fleet: Vec<Box<dyn TrajectoryPlan>> = vec![
+            Box::new(RayPlan::new(Direction::Right)),
+            Box::new(IdlePlan::new()),
+        ];
+        assert_eq!(fleet.len(), 2);
+        assert!(fleet[0].materialize(1.0).is_ok());
+    }
+
+    #[test]
+    fn direction_signs() {
+        assert_eq!(Direction::Right.sign(), 1.0);
+        assert_eq!(Direction::Left.sign(), -1.0);
+    }
+}

@@ -1,0 +1,314 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine takes materialized trajectories, a target, and a fault
+//! mask; it derives the discrete events of the run (turning points,
+//! target visits), processes them in time order, and reports the search
+//! outcome. Detection follows the paper's rule: the search succeeds the
+//! moment the first **reliable** robot stands on the target.
+
+use std::collections::HashSet;
+
+use faultline_core::{Error, PiecewiseTrajectory, Result};
+
+use crate::event::{Event, EventKind, EventQueue};
+use crate::fault::FaultMask;
+use crate::outcome::{Detection, SearchOutcome, Visit};
+use crate::robot::{Robot, RobotId};
+use crate::target::Target;
+
+/// Configuration of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Record the full event trace in the outcome.
+    pub record_trace: bool,
+    /// Stop processing at the first detection (default). When `false`,
+    /// the run continues to the horizon and collects every robot's
+    /// first visit — useful for measuring `T_k` for several `k` at once.
+    pub stop_at_detection: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { record_trace: false, stop_at_detection: true }
+    }
+}
+
+/// A fully configured simulation, ready to [`run`](Simulation::run).
+#[derive(Debug)]
+pub struct Simulation {
+    robots: Vec<Robot>,
+    target: Target,
+    config: SimConfig,
+    horizon: f64,
+}
+
+impl Simulation {
+    /// Builds a simulation from materialized trajectories, a target and
+    /// a fault mask.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameters`] when the fleet is empty or
+    /// the mask length does not match the fleet size.
+    pub fn new(
+        trajectories: Vec<PiecewiseTrajectory>,
+        target: Target,
+        mask: &FaultMask,
+        config: SimConfig,
+    ) -> Result<Self> {
+        if trajectories.is_empty() {
+            return Err(Error::invalid_params(0, 0, "simulation needs at least one robot"));
+        }
+        if mask.len() != trajectories.len() {
+            return Err(Error::invalid_params(
+                trajectories.len(),
+                mask.fault_count(),
+                format!(
+                    "fault mask covers {} robots but the fleet has {}",
+                    mask.len(),
+                    trajectories.len()
+                ),
+            ));
+        }
+        let horizon = trajectories
+            .iter()
+            .map(PiecewiseTrajectory::horizon)
+            .fold(f64::INFINITY, f64::min);
+        let robots = trajectories
+            .into_iter()
+            .enumerate()
+            .map(|(i, traj)| {
+                let id = RobotId(i);
+                Robot::new(id, mask.reliability(id), traj)
+            })
+            .collect();
+        Ok(Simulation { robots, target, config, horizon })
+    }
+
+    /// Number of robots in the simulation.
+    #[must_use]
+    pub fn robot_count(&self) -> usize {
+        self.robots.len()
+    }
+
+    /// The common horizon (earliest trajectory end).
+    #[must_use]
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// Runs the simulation to detection (or to the horizon) and returns
+    /// the outcome.
+    #[must_use]
+    pub fn run(self) -> SearchOutcome {
+        let mut queue = EventQueue::new();
+        let x = self.target.position();
+
+        for robot in &self.robots {
+            for p in robot.trajectory().turning_points() {
+                if p.t <= self.horizon {
+                    queue.push(Event {
+                        time: p.t,
+                        kind: EventKind::Turned { robot: robot.id(), x: p.x },
+                    });
+                }
+            }
+            for t in robot.trajectory().visits(x) {
+                if t <= self.horizon {
+                    queue.push(Event {
+                        time: t,
+                        kind: EventKind::TargetVisited { robot: robot.id() },
+                    });
+                }
+            }
+        }
+        queue.push(Event { time: self.horizon, kind: EventKind::HorizonReached });
+
+        let mut trace: Vec<Event> = Vec::new();
+        let mut visits: Vec<Visit> = Vec::new();
+        let mut seen: HashSet<RobotId> = HashSet::new();
+        let mut detection: Option<Detection> = None;
+
+        'events: while let Some(event) = queue.pop() {
+            if self.config.record_trace {
+                trace.push(event);
+            }
+            match event.kind {
+                EventKind::TargetVisited { robot } => {
+                    if !seen.insert(robot) {
+                        continue; // only the first visit per robot counts
+                    }
+                    let reliable = self.robots[robot.0].is_reliable();
+                    visits.push(Visit { robot, time: event.time, reliable });
+                    if reliable && detection.is_none() {
+                        detection = Some(Detection { robot, time: event.time });
+                        if self.config.record_trace {
+                            trace.push(Event {
+                                time: event.time,
+                                kind: EventKind::Detected { robot },
+                            });
+                        }
+                        if self.config.stop_at_detection {
+                            break 'events;
+                        }
+                    }
+                }
+                EventKind::Turned { .. } => {
+                    // Turning events only matter for the trace; motion is
+                    // already encoded in the trajectories.
+                }
+                EventKind::Detected { .. } => {
+                    // Detected events are emitted, never scheduled.
+                }
+                EventKind::HorizonReached => break 'events,
+            }
+        }
+
+        SearchOutcome {
+            target: self.target,
+            detection,
+            visits,
+            horizon: self.horizon,
+            trace: self.config.record_trace.then_some(trace),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultline_core::TrajectoryBuilder;
+
+    fn straight(to: f64) -> PiecewiseTrajectory {
+        TrajectoryBuilder::from_origin().sweep_to(to).finish().unwrap()
+    }
+
+    fn sim(
+        trajectories: Vec<PiecewiseTrajectory>,
+        target: f64,
+        faulty: &[usize],
+        config: SimConfig,
+    ) -> SearchOutcome {
+        let n = trajectories.len();
+        let mask = FaultMask::from_indices(n, faulty).unwrap();
+        Simulation::new(trajectories, Target::new(target).unwrap(), &mask, config)
+            .unwrap()
+            .run()
+    }
+
+    #[test]
+    fn reliable_robot_detects_on_arrival() {
+        let outcome = sim(vec![straight(5.0)], 3.0, &[], SimConfig::default());
+        let d = outcome.detection.unwrap();
+        assert_eq!(d.time, 3.0);
+        assert_eq!(d.robot, RobotId(0));
+        assert_eq!(outcome.ratio(), 1.0);
+    }
+
+    #[test]
+    fn faulty_robot_does_not_detect() {
+        let outcome = sim(vec![straight(5.0)], 3.0, &[0], SimConfig::default());
+        assert!(!outcome.detected());
+        assert!(outcome.ratio().is_infinite());
+        // The faulty robot's visit is still recorded.
+        assert_eq!(outcome.visits.len(), 1);
+        assert!(!outcome.visits[0].reliable);
+    }
+
+    #[test]
+    fn detection_waits_for_first_reliable_visitor() {
+        // Robot 0 (faulty) arrives at t = 3; robot 1 (reliable) dawdles
+        // and arrives at t = 7. Both trajectories extend past t = 7 so
+        // the common (minimum) horizon covers the late visit.
+        let slow = TrajectoryBuilder::from_origin()
+            .sweep_to(-2.0)
+            .sweep_to(4.0)
+            .finish()
+            .unwrap();
+        let outcome = sim(vec![straight(9.0), slow], 3.0, &[0], SimConfig::default());
+        let d = outcome.detection.unwrap();
+        assert_eq!(d.robot, RobotId(1));
+        assert_eq!(d.time, 7.0);
+        assert_eq!(outcome.distinct_visitors(), 2);
+    }
+
+    #[test]
+    fn stop_at_detection_truncates_visits() {
+        let outcome = sim(
+            vec![straight(5.0), straight(5.0)],
+            2.0,
+            &[],
+            SimConfig::default(),
+        );
+        // Both robots arrive simultaneously but the run stops at the
+        // first reliable visit.
+        assert_eq!(outcome.distinct_visitors(), 1);
+    }
+
+    #[test]
+    fn run_to_horizon_collects_all_visits() {
+        let cfg = SimConfig { record_trace: false, stop_at_detection: false };
+        let outcome = sim(vec![straight(5.0), straight(5.0)], 2.0, &[], cfg);
+        assert_eq!(outcome.distinct_visitors(), 2);
+    }
+
+    #[test]
+    fn trace_records_turning_and_detection_events() {
+        let zigzag = TrajectoryBuilder::from_origin()
+            .sweep_to(2.0)
+            .sweep_to(-4.0)
+            .finish()
+            .unwrap();
+        let cfg = SimConfig { record_trace: true, stop_at_detection: true };
+        let outcome = sim(vec![zigzag], -1.0, &[], cfg);
+        let trace = outcome.trace.as_ref().unwrap();
+        assert!(trace.iter().any(|e| matches!(e.kind, EventKind::Turned { .. })));
+        assert!(trace.iter().any(|e| matches!(e.kind, EventKind::Detected { .. })));
+        // Events fire in time order.
+        assert!(trace.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn revisits_do_not_duplicate() {
+        // The robot crosses +1 three times.
+        let weave = TrajectoryBuilder::from_origin()
+            .sweep_to(2.0)
+            .sweep_to(0.5)
+            .sweep_to(3.0)
+            .finish()
+            .unwrap();
+        let cfg = SimConfig { record_trace: false, stop_at_detection: false };
+        let mask = FaultMask::from_indices(1, &[0]).unwrap();
+        let outcome =
+            Simulation::new(vec![weave], Target::new(1.0).unwrap(), &mask, cfg).unwrap().run();
+        assert_eq!(outcome.distinct_visitors(), 1);
+        assert_eq!(outcome.visits[0].time, 1.0);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let mask = FaultMask::all_reliable(2);
+        assert!(Simulation::new(vec![], Target::new(2.0).unwrap(), &mask, SimConfig::default())
+            .is_err());
+        assert!(Simulation::new(
+            vec![straight(5.0)],
+            Target::new(2.0).unwrap(),
+            &mask,
+            SimConfig::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn horizon_is_minimum_across_fleet() {
+        let s = Simulation::new(
+            vec![straight(5.0), straight(-2.0)],
+            Target::new(1.5).unwrap(),
+            &FaultMask::all_reliable(2),
+            SimConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(s.horizon(), 2.0);
+        assert_eq!(s.robot_count(), 2);
+    }
+}

@@ -1,0 +1,157 @@
+//! Discrete events and the time-ordered event queue driving the
+//! simulation engine.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::robot::RobotId;
+
+/// A discrete event in the simulated search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Simulation time at which the event fires.
+    pub time: f64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The kinds of events produced while simulating a search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A robot reversed its direction of motion at the given position.
+    Turned {
+        /// The turning robot.
+        robot: RobotId,
+        /// Position of the turning point.
+        x: f64,
+    },
+    /// A robot stood on the target's position.
+    TargetVisited {
+        /// The visiting robot.
+        robot: RobotId,
+    },
+    /// A **reliable** robot stood on the target: the search succeeds.
+    Detected {
+        /// The detecting robot.
+        robot: RobotId,
+    },
+    /// The simulation horizon was reached without detection.
+    HorizonReached,
+}
+
+/// A min-heap of events ordered by time (ties broken by insertion
+/// order, so simultaneous events fire deterministically FIFO).
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<QueueEntry>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct QueueEntry {
+    event: Event,
+    seq: u64,
+}
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for QueueEntry {}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we need earliest
+        // first. Ties resolve FIFO (lower sequence first).
+        other
+            .event
+            .time
+            .total_cmp(&self.event.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules an event.
+    pub fn push(&mut self, event: Event) {
+        let entry = QueueEntry { event, seq: self.seq };
+        self.seq += 1;
+        self.heap.push(entry);
+    }
+
+    /// Pops the earliest event, FIFO among ties.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|e| e.event)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time: f64) -> Event {
+        Event { time, kind: EventKind::HorizonReached }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(ev(3.0));
+        q.push(ev(1.0));
+        q.push(ev(2.0));
+        let times: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
+        assert_eq!(times, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut q = EventQueue::new();
+        q.push(Event { time: 1.0, kind: EventKind::Turned { robot: RobotId(0), x: 0.0 } });
+        q.push(Event { time: 1.0, kind: EventKind::Turned { robot: RobotId(1), x: 0.0 } });
+        match (q.pop().unwrap().kind, q.pop().unwrap().kind) {
+            (EventKind::Turned { robot: a, .. }, EventKind::Turned { robot: b, .. }) => {
+                assert_eq!(a, RobotId(0));
+                assert_eq!(b, RobotId(1));
+            }
+            other => panic!("unexpected events {other:?}"),
+        }
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(ev(1.0));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

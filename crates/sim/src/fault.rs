@@ -1,0 +1,262 @@
+//! Fault assignment: which robots are faulty in a given run.
+//!
+//! The paper's adversary chooses faults in the worst possible way; the
+//! simulator additionally supports fixed and random (Bernoulli)
+//! assignments for Monte-Carlo experiments and failure injection.
+
+use faultline_core::{Error, Result};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::robot::{Reliability, RobotId};
+
+/// A concrete assignment of reliability to each of `n` robots.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultMask {
+    faulty: Vec<bool>,
+}
+
+impl FaultMask {
+    /// All robots reliable.
+    #[must_use]
+    pub fn all_reliable(n: usize) -> Self {
+        FaultMask { faulty: vec![false; n] }
+    }
+
+    /// Marks exactly the robots at `indices` as faulty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameters`] when an index is out of
+    /// range or listed twice.
+    pub fn from_indices(n: usize, indices: &[usize]) -> Result<Self> {
+        let mut faulty = vec![false; n];
+        for &i in indices {
+            if i >= n {
+                return Err(Error::invalid_params(n, indices.len(), format!(
+                    "fault index {i} out of range for {n} robots"
+                )));
+            }
+            if faulty[i] {
+                return Err(Error::invalid_params(n, indices.len(), format!(
+                    "fault index {i} listed twice"
+                )));
+            }
+            faulty[i] = true;
+        }
+        Ok(FaultMask { faulty })
+    }
+
+    /// Builds a mask directly from booleans (`true` = faulty).
+    #[must_use]
+    pub fn from_bools(faulty: Vec<bool>) -> Self {
+        FaultMask { faulty }
+    }
+
+    /// Number of robots covered by the mask.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.faulty.len()
+    }
+
+    /// Whether the mask covers zero robots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faulty.is_empty()
+    }
+
+    /// Whether robot `id` is faulty.
+    #[must_use]
+    pub fn is_faulty(&self, id: RobotId) -> bool {
+        self.faulty.get(id.0).copied().unwrap_or(false)
+    }
+
+    /// The reliability of robot `id`.
+    #[must_use]
+    pub fn reliability(&self, id: RobotId) -> Reliability {
+        if self.is_faulty(id) {
+            Reliability::Faulty
+        } else {
+            Reliability::Reliable
+        }
+    }
+
+    /// Number of faulty robots.
+    #[must_use]
+    pub fn fault_count(&self) -> usize {
+        self.faulty.iter().filter(|&&b| b).count()
+    }
+
+    /// Indices of the faulty robots.
+    #[must_use]
+    pub fn faulty_indices(&self) -> Vec<usize> {
+        self.faulty
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(i))
+            .collect()
+    }
+}
+
+/// A source of fault assignments, one per simulated run.
+///
+/// Implementors may be deterministic (fixed sets) or random; the
+/// worst-case adversary is not a `FaultModel` because it needs to see
+/// the trajectories and target first — see
+/// [`crate::adversary::worst_case_mask`].
+pub trait FaultModel: std::fmt::Debug {
+    /// Produces a fault mask for `n` robots.
+    fn assign(&mut self, n: usize) -> FaultMask;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Always assigns the same fixed set of faulty robots.
+#[derive(Debug, Clone)]
+pub struct FixedFaults {
+    indices: Vec<usize>,
+}
+
+impl FixedFaults {
+    /// Creates the model from faulty robot indices.
+    #[must_use]
+    pub fn new(indices: Vec<usize>) -> Self {
+        FixedFaults { indices }
+    }
+}
+
+impl FaultModel for FixedFaults {
+    fn assign(&mut self, n: usize) -> FaultMask {
+        FaultMask::from_indices(n, &self.indices)
+            .unwrap_or_else(|_| FaultMask::all_reliable(n))
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+}
+
+/// Marks each robot faulty independently with probability `p`,
+/// truncated to at most `max_faults` faults (earliest indices win) so
+/// the assignment stays within the algorithm's tolerance.
+#[derive(Debug)]
+pub struct BernoulliFaults<R: Rng> {
+    p: f64,
+    max_faults: usize,
+    rng: R,
+}
+
+impl<R: Rng + std::fmt::Debug> BernoulliFaults<R> {
+    /// Creates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Domain`] unless `0 <= p <= 1`.
+    pub fn new(p: f64, max_faults: usize, rng: R) -> Result<Self> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(Error::domain(format!("fault probability must be in [0, 1], got {p}")));
+        }
+        Ok(BernoulliFaults { p, max_faults, rng })
+    }
+}
+
+impl<R: Rng + std::fmt::Debug> FaultModel for BernoulliFaults<R> {
+    fn assign(&mut self, n: usize) -> FaultMask {
+        let mut faulty = vec![false; n];
+        let mut budget = self.max_faults;
+        for slot in faulty.iter_mut() {
+            if budget == 0 {
+                break;
+            }
+            if self.rng.random_bool(self.p) {
+                *slot = true;
+                budget -= 1;
+            }
+        }
+        FaultMask::from_bools(faulty)
+    }
+
+    fn name(&self) -> &'static str {
+        "bernoulli"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mask_construction_and_queries() {
+        let m = FaultMask::from_indices(4, &[1, 3]).unwrap();
+        assert_eq!(m.len(), 4);
+        assert!(!m.is_empty());
+        assert_eq!(m.fault_count(), 2);
+        assert!(m.is_faulty(RobotId(1)));
+        assert!(!m.is_faulty(RobotId(0)));
+        assert_eq!(m.reliability(RobotId(3)), Reliability::Faulty);
+        assert_eq!(m.reliability(RobotId(2)), Reliability::Reliable);
+        assert_eq!(m.faulty_indices(), vec![1, 3]);
+        // Out-of-range ids are treated as absent, hence reliable.
+        assert!(!m.is_faulty(RobotId(99)));
+    }
+
+    #[test]
+    fn mask_rejects_bad_indices() {
+        assert!(FaultMask::from_indices(3, &[3]).is_err());
+        assert!(FaultMask::from_indices(3, &[1, 1]).is_err());
+    }
+
+    #[test]
+    fn all_reliable_has_no_faults() {
+        let m = FaultMask::all_reliable(5);
+        assert_eq!(m.fault_count(), 0);
+        assert!(m.faulty_indices().is_empty());
+    }
+
+    #[test]
+    fn fixed_model_is_deterministic() {
+        let mut model = FixedFaults::new(vec![0, 2]);
+        let a = model.assign(4);
+        let b = model.assign(4);
+        assert_eq!(a, b);
+        assert_eq!(model.name(), "fixed");
+    }
+
+    #[test]
+    fn fixed_model_falls_back_when_out_of_range() {
+        let mut model = FixedFaults::new(vec![9]);
+        assert_eq!(model.assign(3).fault_count(), 0);
+    }
+
+    #[test]
+    fn bernoulli_respects_budget() {
+        let rng = StdRng::seed_from_u64(7);
+        let mut model = BernoulliFaults::new(1.0, 2, rng).unwrap();
+        let m = model.assign(10);
+        assert_eq!(m.fault_count(), 2);
+        assert_eq!(model.name(), "bernoulli");
+    }
+
+    #[test]
+    fn bernoulli_zero_probability_never_faults() {
+        let rng = StdRng::seed_from_u64(7);
+        let mut model = BernoulliFaults::new(0.0, 5, rng).unwrap();
+        assert_eq!(model.assign(20).fault_count(), 0);
+    }
+
+    #[test]
+    fn bernoulli_validates_probability() {
+        let rng = StdRng::seed_from_u64(7);
+        assert!(BernoulliFaults::new(1.5, 2, rng).is_err());
+    }
+
+    #[test]
+    fn bernoulli_is_reproducible_under_same_seed() {
+        let a = BernoulliFaults::new(0.5, 10, StdRng::seed_from_u64(42)).unwrap().assign(16);
+        let b = BernoulliFaults::new(0.5, 10, StdRng::seed_from_u64(42)).unwrap().assign(16);
+        assert_eq!(a, b);
+    }
+}

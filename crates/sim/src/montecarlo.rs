@@ -1,0 +1,198 @@
+//! Monte-Carlo experiments: random target placement and random fault
+//! assignment, with summary statistics.
+//!
+//! The paper analyzes the worst case; these experiments quantify how
+//! much slack typical (random) instances leave relative to the
+//! worst-case competitive ratio.
+
+use faultline_core::{Error, PiecewiseTrajectory, Result, TrajectoryPlan};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{SimConfig, Simulation};
+use crate::fault::FaultModel;
+use crate::target::Target;
+
+/// Configuration of a Monte-Carlo sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonteCarloConfig {
+    /// Number of simulated searches.
+    pub samples: usize,
+    /// Targets are drawn log-uniformly from `[1, xmax]`, with a random
+    /// sign.
+    pub xmax: f64,
+}
+
+impl MonteCarloConfig {
+    /// Creates a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Domain`] for `samples == 0` or `xmax <= 1`.
+    pub fn new(samples: usize, xmax: f64) -> Result<Self> {
+        if samples == 0 {
+            return Err(Error::domain("Monte-Carlo sweep needs at least one sample"));
+        }
+        if !(xmax > 1.0) {
+            return Err(Error::domain(format!("xmax must exceed 1, got {xmax}")));
+        }
+        Ok(MonteCarloConfig { samples, xmax })
+    }
+}
+
+/// Summary statistics over the sampled ratios.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RatioStats {
+    /// Number of samples (detected runs only).
+    pub detected: usize,
+    /// Number of runs where the target was never detected.
+    pub undetected: usize,
+    /// Mean ratio over detected runs.
+    pub mean: f64,
+    /// Maximum ratio over detected runs.
+    pub max: f64,
+    /// Median ratio.
+    pub p50: f64,
+    /// 95th-percentile ratio.
+    pub p95: f64,
+}
+
+impl RatioStats {
+    /// Computes statistics from raw ratios (infinite entries count as
+    /// undetected).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Domain`] when every sample is undetected.
+    pub fn from_ratios(ratios: &[f64]) -> Result<Self> {
+        let mut finite: Vec<f64> = ratios.iter().copied().filter(|r| r.is_finite()).collect();
+        let undetected = ratios.len() - finite.len();
+        if finite.is_empty() {
+            return Err(Error::domain("no detected runs: cannot summarize ratios"));
+        }
+        finite.sort_by(f64::total_cmp);
+        let sum: f64 = finite.iter().sum();
+        let quantile = |q: f64| -> f64 {
+            let idx = ((finite.len() - 1) as f64 * q).round() as usize;
+            finite[idx]
+        };
+        Ok(RatioStats {
+            detected: finite.len(),
+            undetected,
+            mean: sum / finite.len() as f64,
+            max: *finite.last().expect("non-empty"),
+            p50: quantile(0.5),
+            p95: quantile(0.95),
+        })
+    }
+}
+
+/// Runs a Monte-Carlo sweep and returns the raw achieved ratios, one
+/// per sample: for each sample, draws a random target (log-uniform
+/// magnitude in `[1, xmax]`, random side) and a fault mask from
+/// `faults`, and simulates the search.
+///
+/// # Errors
+///
+/// Propagates materialization and simulation errors.
+pub fn run_sweep_ratios<R: Rng>(
+    plans: &[Box<dyn TrajectoryPlan>],
+    faults: &mut dyn FaultModel,
+    config: MonteCarloConfig,
+    horizon: f64,
+    rng: &mut R,
+) -> Result<Vec<f64>> {
+    let trajectories: Vec<PiecewiseTrajectory> =
+        plans.iter().map(|p| p.materialize(horizon)).collect::<Result<_>>()?;
+    let mut ratios = Vec::with_capacity(config.samples);
+    for _ in 0..config.samples {
+        let magnitude = (rng.random_range(0.0..config.xmax.ln())).exp();
+        let side = if rng.random_bool(0.5) { 1.0 } else { -1.0 };
+        let target = Target::new(side * magnitude.max(1.0))?;
+        let mask = faults.assign(trajectories.len());
+        let outcome =
+            Simulation::new(trajectories.clone(), target, &mask, SimConfig::default())?.run();
+        ratios.push(outcome.ratio());
+    }
+    Ok(ratios)
+}
+
+/// Runs a Monte-Carlo sweep and summarizes the achieved ratios (see
+/// [`run_sweep_ratios`] for the sampling scheme).
+///
+/// # Errors
+///
+/// Propagates materialization and simulation errors.
+pub fn run_sweep<R: Rng>(
+    plans: &[Box<dyn TrajectoryPlan>],
+    faults: &mut dyn FaultModel,
+    config: MonteCarloConfig,
+    horizon: f64,
+    rng: &mut R,
+) -> Result<RatioStats> {
+    RatioStats::from_ratios(&run_sweep_ratios(plans, faults, config, horizon, rng)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{BernoulliFaults, FixedFaults};
+    use faultline_core::{Algorithm, Params};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stats_from_ratios() {
+        let stats = RatioStats::from_ratios(&[1.0, 2.0, 3.0, f64::INFINITY]).unwrap();
+        assert_eq!(stats.detected, 3);
+        assert_eq!(stats.undetected, 1);
+        assert_eq!(stats.mean, 2.0);
+        assert_eq!(stats.max, 3.0);
+        assert_eq!(stats.p50, 2.0);
+    }
+
+    #[test]
+    fn stats_reject_all_undetected() {
+        assert!(RatioStats::from_ratios(&[f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(MonteCarloConfig::new(0, 10.0).is_err());
+        assert!(MonteCarloConfig::new(5, 1.0).is_err());
+        assert!(MonteCarloConfig::new(5, 10.0).is_ok());
+    }
+
+    #[test]
+    fn random_faults_never_beat_worst_case_cr() {
+        // Monte-Carlo ratios with random faults stay below the analytic
+        // worst-case competitive ratio of A(3, 1).
+        let params = Params::new(3, 1).unwrap();
+        let alg = Algorithm::design(params).unwrap();
+        let horizon = alg.required_horizon(11.0).unwrap();
+        let plans = alg.plans();
+        let mut faults =
+            BernoulliFaults::new(0.4, params.f(), StdRng::seed_from_u64(1)).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let config = MonteCarloConfig::new(200, 10.0).unwrap();
+        let stats = run_sweep(&plans, &mut faults, config, horizon, &mut rng).unwrap();
+        assert_eq!(stats.undetected, 0);
+        assert!(stats.max <= alg.analytic_cr() + 1e-9, "max = {}", stats.max);
+        assert!(stats.mean >= 1.0);
+        assert!(stats.p95 >= stats.p50);
+    }
+
+    #[test]
+    fn sweep_is_reproducible() {
+        let alg = Algorithm::design(Params::new(3, 1).unwrap()).unwrap();
+        let horizon = alg.required_horizon(11.0).unwrap();
+        let plans = alg.plans();
+        let config = MonteCarloConfig::new(50, 10.0).unwrap();
+        let run = |seed: u64| {
+            let mut faults = FixedFaults::new(vec![0]);
+            let mut rng = StdRng::seed_from_u64(seed);
+            run_sweep(&plans, &mut faults, config, horizon, &mut rng).unwrap()
+        };
+        assert_eq!(run(9), run(9));
+    }
+}

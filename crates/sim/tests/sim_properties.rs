@@ -1,0 +1,147 @@
+//! Property-based tests tying the simulator to the analytic machinery.
+
+use faultline_core::coverage::Fleet;
+use faultline_core::{Algorithm, Params, PiecewiseTrajectory};
+use faultline_sim::engine::{SimConfig, Simulation};
+use faultline_sim::fault::{BernoulliFaults, FaultMask};
+use faultline_sim::target::Target;
+use faultline_sim::{worst_case_mask, worst_case_outcome};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn proportional_params() -> impl Strategy<Value = Params> {
+    (1usize..10).prop_flat_map(|f| {
+        ((f + 1)..(2 * f + 2)).prop_map(move |n| Params::new(n, f).expect("valid by range"))
+    })
+}
+
+fn materialize(alg: &Algorithm, xmax: f64) -> Vec<PiecewiseTrajectory> {
+    let horizon = alg.required_horizon(xmax).unwrap();
+    alg.plans().iter().map(|p| p.materialize(horizon).unwrap()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The simulated worst-case detection time equals the analytic
+    /// T_(f+1)(x) computed from coverage, for random targets on both
+    /// sides: two completely independent code paths must agree.
+    #[test]
+    fn simulation_matches_coverage(
+        params in proportional_params(),
+        x in 1.0f64..20.0,
+        negative in any::<bool>(),
+    ) {
+        let target_pos = if negative { -x } else { x };
+        let alg = Algorithm::design(params).unwrap();
+        let trajectories = materialize(&alg, 21.0);
+        let fleet = Fleet::new(trajectories.clone()).unwrap();
+
+        let outcome = worst_case_outcome(
+            trajectories,
+            Target::new(target_pos).unwrap(),
+            params.f(),
+            SimConfig::default(),
+        ).unwrap();
+        let analytic = fleet.visit_time(target_pos, params.required_visits());
+
+        prop_assert!(outcome.detected(), "{params}: target {target_pos} undetected");
+        let sim_t = outcome.detection.unwrap().time;
+        let cov_t = analytic.unwrap();
+        prop_assert!(
+            (sim_t - cov_t).abs() <= 1e-9 * cov_t.max(1.0),
+            "{params}, x = {target_pos}: sim {sim_t} vs coverage {cov_t}"
+        );
+    }
+
+    /// No fault assignment of at most f faults can beat the worst-case
+    /// adversary: the adversarial detection time dominates any random
+    /// mask's detection time.
+    #[test]
+    fn adversary_dominates_random_masks(
+        params in proportional_params(),
+        x in 1.0f64..15.0,
+        seed in any::<u64>(),
+    ) {
+        let alg = Algorithm::design(params).unwrap();
+        let trajectories = materialize(&alg, 16.0);
+        let target = Target::new(x).unwrap();
+
+        let worst = worst_case_outcome(
+            trajectories.clone(),
+            target,
+            params.f(),
+            SimConfig::default(),
+        ).unwrap();
+        prop_assert!(worst.detected());
+        let worst_time = worst.detection.unwrap().time;
+
+        let mut model = BernoulliFaults::new(
+            0.5,
+            params.f(),
+            StdRng::seed_from_u64(seed),
+        ).unwrap();
+        use faultline_sim::fault::FaultModel;
+        let mask = model.assign(trajectories.len());
+        let outcome = Simulation::new(trajectories, target, &mask, SimConfig::default())
+            .unwrap()
+            .run();
+        prop_assert!(outcome.detected());
+        prop_assert!(
+            outcome.detection.unwrap().time <= worst_time + 1e-9,
+            "random mask beat the adversary"
+        );
+    }
+
+    /// The worst-case mask always has exactly f faults when at least f
+    /// robots reach the target, and they are the f earliest visitors.
+    #[test]
+    fn worst_case_mask_structure(
+        params in proportional_params(),
+        x in 1.0f64..10.0,
+    ) {
+        let alg = Algorithm::design(params).unwrap();
+        let trajectories = materialize(&alg, 11.0);
+        let mask = worst_case_mask(&trajectories, Target::new(x).unwrap(), params.f()).unwrap();
+        prop_assert_eq!(mask.fault_count(), params.f());
+
+        // Every faulty robot reaches the target no later than every
+        // reliable robot that reaches it.
+        let arrival = |i: usize| trajectories[i].first_visit(x);
+        let latest_faulty = mask
+            .faulty_indices()
+            .into_iter()
+            .filter_map(arrival)
+            .fold(0.0, f64::max);
+        for i in 0..trajectories.len() {
+            if !mask.is_faulty(faultline_sim::RobotId(i)) {
+                if let Some(t) = arrival(i) {
+                    prop_assert!(t >= latest_faulty - 1e-12);
+                }
+            }
+        }
+    }
+
+    /// Searches with zero faults detect at exactly the fleet's first
+    /// visit time, i.e. the simulator's bookkeeping introduces no bias.
+    #[test]
+    fn zero_fault_search_is_first_visit(
+        params in proportional_params(),
+        x in 1.0f64..10.0,
+    ) {
+        let alg = Algorithm::design(params).unwrap();
+        let trajectories = materialize(&alg, 11.0);
+        let fleet = Fleet::new(trajectories.clone()).unwrap();
+        let mask = FaultMask::all_reliable(trajectories.len());
+        let outcome = Simulation::new(
+            trajectories,
+            Target::new(x).unwrap(),
+            &mask,
+            SimConfig::default(),
+        ).unwrap().run();
+        let expected = fleet.visit_time(x, 1).unwrap();
+        let got = outcome.detection.unwrap().time;
+        prop_assert!((got - expected).abs() <= 1e-9 * expected.max(1.0));
+    }
+}

@@ -1,0 +1,60 @@
+//! Registry of the built-in strategies, addressable by name.
+
+use crate::delayed::{DelayedDoublingStrategy, MirroredPairsStrategy};
+use crate::doubling::{HerdDoublingStrategy, StaggeredDoublingStrategy};
+use crate::naive::PessimalSplitStrategy;
+use crate::proportional::{PaperStrategy, ProportionalStrategy};
+use crate::two_group::TwoGroupStrategy;
+use crate::Strategy;
+
+/// Every built-in strategy, boxed, in a stable order.
+///
+/// (The beta-ablation [`crate::FixedBetaStrategy`] is parameterized and
+/// therefore not listed; construct it directly.)
+#[must_use]
+pub fn all_strategies() -> Vec<Box<dyn Strategy>> {
+    vec![
+        Box::new(PaperStrategy::new()),
+        Box::new(ProportionalStrategy::new()),
+        Box::new(TwoGroupStrategy::new()),
+        Box::new(HerdDoublingStrategy::new()),
+        Box::new(StaggeredDoublingStrategy::new()),
+        Box::new(MirroredPairsStrategy::new()),
+        Box::new(
+            DelayedDoublingStrategy::new(1.0).expect("a unit delay is always valid"),
+        ),
+        Box::new(PessimalSplitStrategy::new()),
+    ]
+}
+
+/// Looks up a built-in strategy by its stable name.
+#[must_use]
+pub fn strategy_by_name(name: &str) -> Option<Box<dyn Strategy>> {
+    all_strategies().into_iter().find(|s| s.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let names: Vec<&str> = all_strategies().iter().map(|s| s.name()).collect();
+        let set: std::collections::HashSet<&&str> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(strategy_by_name("paper").is_some());
+        assert!(strategy_by_name("herd-doubling").is_some());
+        assert!(strategy_by_name("no-such-strategy").is_none());
+    }
+
+    #[test]
+    fn descriptions_are_nonempty() {
+        for s in all_strategies() {
+            assert!(!s.description().is_empty(), "{}", s.name());
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! `faultline` — command-line interface to the faulty-robot line
+//! search stack.
+//!
+//! ```text
+//! faultline design <n> <f>                      # design + inspect A(n, f)
+//! faultline simulate <n> <f> <target> [faulty robots: i,j,...]
+//! faultline bounds <n> <f>                      # upper & lower bounds
+//! faultline compare <n> <f> [xmax]              # all strategies, measured
+//! faultline spectrum <n> <f> [xmax]             # CR_k for k = 1..n
+//! faultline animate <n> <f> <dt> <until> <file> # CSV position samples
+//! ```
+
+use std::process::ExitCode;
+
+use faultline_suite::analysis::ascii::render_table;
+use faultline_suite::analysis::group_search;
+use faultline_suite::analysis::measure_strategy_cr;
+use faultline_suite::core::{lower_bound, ratio, Algorithm, Params, Regime};
+use faultline_suite::sim::engine::SimConfig;
+use faultline_suite::sim::{
+    sample_positions, snapshots_to_csv, worst_case_outcome, FaultMask, Simulation, Target,
+};
+use faultline_suite::strategies::{all_strategies, PaperStrategy};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("faultline: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  faultline design   <n> <f>
+  faultline simulate <n> <f> <target> [faulty: i,j,...]
+  faultline bounds   <n> <f>
+  faultline compare  <n> <f> [xmax]
+  faultline spectrum <n> <f> [xmax]
+  faultline animate  <n> <f> <dt> <until> <file.csv>
+  faultline timeline <n> <f> [horizon] [target]
+  faultline scenario <file.json>";
+
+fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let command = args.first().map(String::as_str).ok_or("missing command")?;
+    match command {
+        "design" => design(parse_params(args)?),
+        "simulate" => simulate(parse_params(args)?, &args[3..]),
+        "bounds" => bounds(parse_params(args)?),
+        "compare" => compare(parse_params(args)?, parse_xmax(args, 3)?),
+        "spectrum" => spectrum(parse_params(args)?, parse_xmax(args, 3)?),
+        "animate" => animate(parse_params(args)?, &args[3..]),
+        "timeline" => timeline(parse_params(args)?, &args[3..]),
+        "scenario" => scenario(&args[1..]),
+        other => Err(format!("unknown command `{other}`").into()),
+    }
+}
+
+fn parse_params(args: &[String]) -> Result<Params, Box<dyn std::error::Error>> {
+    let n: usize = args.get(1).ok_or("missing <n>")?.parse()?;
+    let f: usize = args.get(2).ok_or("missing <f>")?.parse()?;
+    Ok(Params::new(n, f)?)
+}
+
+fn parse_xmax(args: &[String], idx: usize) -> Result<f64, Box<dyn std::error::Error>> {
+    match args.get(idx) {
+        Some(s) => Ok(s.parse()?),
+        None => Ok(25.0),
+    }
+}
+
+fn design(params: Params) -> Result<(), Box<dyn std::error::Error>> {
+    let alg = Algorithm::design(params)?;
+    println!("{}", alg.describe());
+    if let Some(schedule) = alg.schedule() {
+        println!("proportionality ratio r = {:.6}", schedule.ratio());
+        println!();
+        println!("robot seeds (Definition 4):");
+        for (i, plan) in alg.plans().iter().enumerate() {
+            println!("  a{i}: {}", plan.label());
+        }
+        println!();
+        println!("first interleaved turning points tau_j = r^j:");
+        let rows: Vec<Vec<String>> = schedule
+            .interleaved_turning_points(2 * params.n())
+            .into_iter()
+            .enumerate()
+            .map(|(j, (robot, p))| {
+                vec![
+                    j.to_string(),
+                    format!("a{robot}"),
+                    format!("{:.6}", p.x),
+                    format!("{:.6}", p.t),
+                ]
+            })
+            .collect();
+        print!("{}", render_table(&["j", "robot", "tau_j", "time"], &rows));
+    }
+    Ok(())
+}
+
+fn simulate(params: Params, rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let target: f64 = rest.first().ok_or("missing <target>")?.parse()?;
+    let target = Target::new(target)?;
+    let alg = Algorithm::design(params)?;
+    let horizon = alg.required_horizon(target.distance() * 1.5 + 2.0)?;
+    let trajectories = alg
+        .plans()
+        .iter()
+        .map(|p| p.materialize(horizon))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let outcome = match rest.get(1) {
+        Some(list) => {
+            let faulty: Vec<usize> = list
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(str::parse)
+                .collect::<Result<_, _>>()?;
+            if faulty.len() > params.f() {
+                return Err(format!(
+                    "{} faults exceed the tolerance f = {}",
+                    faulty.len(),
+                    params.f()
+                )
+                .into());
+            }
+            let mask = FaultMask::from_indices(params.n(), &faulty)?;
+            Simulation::new(trajectories, target, &mask, SimConfig::default())?.run()
+        }
+        None => {
+            println!("(no fault set given: using the worst-case adversary)");
+            worst_case_outcome(trajectories, target, params.f(), SimConfig::default())?
+        }
+    };
+
+    println!("search for {target} with {params}:");
+    for v in &outcome.visits {
+        println!(
+            "  t = {:10.4}  a{} {}",
+            v.time,
+            v.robot.0,
+            if v.reliable { "DETECTS the target" } else { "passes (faulty)" }
+        );
+    }
+    match &outcome.detection {
+        Some(d) => println!(
+            "detected by a{} at t = {:.4}; ratio {:.4} (guarantee {:.4})",
+            d.robot.0,
+            d.time,
+            outcome.ratio(),
+            alg.analytic_cr()
+        ),
+        None => println!("NOT detected within horizon {horizon}"),
+    }
+    Ok(())
+}
+
+fn bounds(params: Params) -> Result<(), Box<dyn std::error::Error>> {
+    println!("{params} — regime: {}", params.regime());
+    println!("upper bound (Theorem 1):  {:.6}", ratio::cr_upper(params));
+    println!("lower bound (Section 4):  {:.6}", lower_bound::lower_bound(params)?);
+    if params.regime() == Regime::Proportional {
+        println!("optimal beta*:            {:.6}", ratio::optimal_beta(params)?);
+        println!("expansion factor:         {:.6}", ratio::expansion_factor(params)?);
+        println!("proportionality ratio r:  {:.6}", ratio::proportionality_ratio(params)?);
+    }
+    Ok(())
+}
+
+fn compare(params: Params, xmax: f64) -> Result<(), Box<dyn std::error::Error>> {
+    println!("measured competitive ratios at {params}, targets up to ±{xmax}:");
+    let mut rows = Vec::new();
+    for strategy in all_strategies() {
+        let row = match measure_strategy_cr(strategy.as_ref(), params, xmax, 64) {
+            Ok(m) if m.empirical.is_finite() => {
+                vec![
+                    strategy.name().to_owned(),
+                    m.analytic.map_or("-".into(), |v| format!("{v:.4}")),
+                    format!("{:.4}", m.empirical),
+                    format!("{:+.4}", m.argmax),
+                ]
+            }
+            Ok(m) => vec![
+                strategy.name().to_owned(),
+                m.analytic.map_or("-".into(), |v| format!("{v:.4}")),
+                "unbounded".into(),
+                format!("{} targets uncovered", m.uncovered),
+            ],
+            Err(e) => vec![strategy.name().to_owned(), "-".into(), "-".into(), e.to_string()],
+        };
+        rows.push(row);
+    }
+    print!("{}", render_table(&["strategy", "analytic", "measured", "worst target"], &rows));
+    Ok(())
+}
+
+fn spectrum(params: Params, xmax: f64) -> Result<(), Box<dyn std::error::Error>> {
+    println!("arrival-index spectrum CR_k at {params} (k = f+1 is the paper's objective):");
+    let spectrum = group_search::k_spectrum(&PaperStrategy::new(), params, xmax, 48)?;
+    let rows: Vec<Vec<String>> = spectrum
+        .iter()
+        .map(|s| {
+            let marker = if s.k == params.required_visits() { " <- f+1" } else { "" };
+            vec![format!("{}{marker}", s.k), format!("{:.4}", s.cr)]
+        })
+        .collect();
+    print!("{}", render_table(&["k", "CR_k"], &rows));
+    Ok(())
+}
+
+fn timeline(params: Params, rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let horizon: f64 = match rest.first() {
+        Some(s) => s.parse()?,
+        None => 40.0,
+    };
+    let target: Option<f64> = match rest.get(1) {
+        Some(s) => Some(s.parse()?),
+        None => None,
+    };
+    let alg = Algorithm::design(params)?;
+    let trajectories = alg
+        .plans()
+        .iter()
+        .map(|p| p.materialize(horizon))
+        .collect::<Result<Vec<_>, _>>()?;
+    print!(
+        "{}",
+        faultline_suite::analysis::timeline::render_timeline(&trajectories, target, 30, 72)?
+    );
+    Ok(())
+}
+
+fn scenario(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = rest.first().ok_or("missing <file.json>")?;
+    let json = std::fs::read_to_string(path)?;
+    let scenario = faultline_suite::scenario::Scenario::from_json(&json)?;
+    let results = scenario.run()?;
+    println!("{}", faultline_suite::scenario::results_to_json(&results)?);
+    Ok(())
+}
+
+fn animate(params: Params, rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let dt: f64 = rest.first().ok_or("missing <dt>")?.parse()?;
+    let until: f64 = rest.get(1).ok_or("missing <until>")?.parse()?;
+    let file = rest.get(2).ok_or("missing <file.csv>")?;
+    let alg = Algorithm::design(params)?;
+    let trajectories = alg
+        .plans()
+        .iter()
+        .map(|p| p.materialize(until))
+        .collect::<Result<Vec<_>, _>>()?;
+    let snaps = sample_positions(&trajectories, dt, until)?;
+    std::fs::write(file, snapshots_to_csv(&snaps))?;
+    println!("{} snapshots written to {file}", snaps.len());
+    Ok(())
+}

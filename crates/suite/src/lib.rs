@@ -1,0 +1,56 @@
+//! # faultline-suite
+//!
+//! Facade crate for the `faultline` workspace: re-exports the full
+//! stack so downstream users (and the repository-level examples and
+//! integration tests) can depend on a single crate.
+//!
+//! * [`core`](faultline_core) — algorithms, schedules, bounds.
+//! * [`sim`](faultline_sim) — the discrete-event simulator.
+//! * [`strategies`](faultline_strategies) — strategy library.
+//! * [`analysis`](faultline_analysis) — table/figure regeneration.
+//!
+//! ```
+//! use faultline_suite::prelude::*;
+//!
+//! let params = Params::new(3, 1)?;
+//! let algorithm = Algorithm::design(params)?;
+//! assert!((algorithm.analytic_cr() - 5.233).abs() < 1e-3);
+//! # Ok::<(), faultline_suite::core::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod scenario;
+
+pub use faultline_analysis as analysis;
+pub use faultline_core as core;
+pub use faultline_sim as sim;
+pub use faultline_strategies as strategies;
+
+/// The most commonly used items across the stack.
+pub mod prelude {
+    pub use faultline_analysis::{measure_strategy_cr, MeasuredCr};
+    pub use faultline_core::{
+        Algorithm, Cone, Fleet, Params, ProportionalSchedule, Regime, TrajectoryPlan, ZigZagPlan,
+    };
+    pub use faultline_sim::{
+        worst_case_outcome, FaultMask, SearchOutcome, SimConfig, Simulation, Target,
+    };
+    pub use faultline_strategies::{
+        all_strategies, strategy_by_name, PaperStrategy, Strategy,
+    };
+
+    pub use crate::scenario::{Scenario, ScenarioResult};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_is_usable() {
+        use crate::prelude::*;
+        let params = Params::new(5, 2).unwrap();
+        let alg = Algorithm::design(params).unwrap();
+        assert_eq!(alg.plans().len(), 5);
+    }
+}

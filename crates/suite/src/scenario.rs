@@ -1,0 +1,283 @@
+//! Scenario files: declarative JSON descriptions of a search
+//! experiment, runnable from the CLI (`faultline scenario <file>`)
+//! or programmatically.
+//!
+//! ```json
+//! {
+//!   "n": 3,
+//!   "f": 1,
+//!   "strategy": "paper",
+//!   "targets": [2.0, -4.5, 7.25],
+//!   "faulty": [0]
+//! }
+//! ```
+//!
+//! * `strategy` — any registry name (default `"paper"`), or
+//!   `"fixed-beta"` together with a `"beta"` field.
+//! * `faulty` — explicit faulty robot indices; omit to use the
+//!   worst-case adversary per target.
+
+use faultline_core::{Error, Params, Result, TrajectoryPlan};
+use faultline_sim::engine::SimConfig;
+use faultline_sim::{worst_case_outcome, FaultMask, SearchOutcome, Simulation, Target};
+use faultline_strategies::{strategy_by_name, FixedBetaStrategy, Strategy};
+use serde::{Deserialize, Serialize};
+
+/// A declarative scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Number of robots.
+    pub n: usize,
+    /// Fault tolerance.
+    pub f: usize,
+    /// Strategy name from the registry (default `"paper"`).
+    #[serde(default = "default_strategy")]
+    pub strategy: String,
+    /// Cone parameter, only for `strategy = "fixed-beta"`.
+    #[serde(default)]
+    pub beta: Option<f64>,
+    /// Target positions to search for (each simulated independently).
+    pub targets: Vec<f64>,
+    /// Explicit faulty robots; `None` = worst-case adversary.
+    #[serde(default)]
+    pub faulty: Option<Vec<usize>>,
+}
+
+fn default_strategy() -> String {
+    "paper".to_owned()
+}
+
+/// The result of one scenario target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// The target searched for.
+    pub target: f64,
+    /// Detection time, `None` if undetected within the horizon.
+    pub detection_time: Option<f64>,
+    /// Achieved ratio (infinite if undetected).
+    pub ratio: f64,
+    /// Index of the detecting robot.
+    pub detected_by: Option<usize>,
+    /// Distinct robots that visited the target up to detection.
+    pub distinct_visitors: usize,
+}
+
+impl Scenario {
+    /// Parses a scenario from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Domain`] for malformed JSON and
+    /// [`Error::InvalidParameters`] for invalid `(n, f)`.
+    pub fn from_json(json: &str) -> Result<Self> {
+        let scenario: Scenario = serde_json::from_str(json)
+            .map_err(|e| Error::domain(format!("malformed scenario: {e}")))?;
+        scenario.validate()?;
+        Ok(scenario)
+    }
+
+    /// Validates the scenario's cross-field constraints.
+    ///
+    /// # Errors
+    ///
+    /// Reports invalid `(n, f)`, an unknown strategy, missing/extra
+    /// `beta`, an empty target list, or an over-budget fault set.
+    pub fn validate(&self) -> Result<()> {
+        Params::new(self.n, self.f)?;
+        if self.targets.is_empty() {
+            return Err(Error::domain("scenario needs at least one target"));
+        }
+        match self.strategy.as_str() {
+            "fixed-beta" => {
+                if self.beta.is_none() {
+                    return Err(Error::domain("strategy \"fixed-beta\" requires a \"beta\" field"));
+                }
+            }
+            name => {
+                if strategy_by_name(name).is_none() {
+                    return Err(Error::domain(format!("unknown strategy \"{name}\"")));
+                }
+                if self.beta.is_some() {
+                    return Err(Error::domain(
+                        "\"beta\" is only meaningful with strategy \"fixed-beta\"",
+                    ));
+                }
+            }
+        }
+        if let Some(faulty) = &self.faulty {
+            if faulty.len() > self.f {
+                return Err(Error::invalid_params(
+                    self.n,
+                    self.f,
+                    format!("{} explicit faults exceed the budget f = {}", faulty.len(), self.f),
+                ));
+            }
+            FaultMask::from_indices(self.n, faulty)?;
+        }
+        Ok(())
+    }
+
+    fn build_strategy(&self) -> Result<Box<dyn Strategy>> {
+        if self.strategy == "fixed-beta" {
+            let beta = self.beta.expect("validated");
+            return Ok(Box::new(FixedBetaStrategy::new(beta)?));
+        }
+        strategy_by_name(&self.strategy)
+            .ok_or_else(|| Error::domain(format!("unknown strategy \"{}\"", self.strategy)))
+    }
+
+    /// Runs the scenario: every target is searched independently, with
+    /// the explicit fault set or the worst-case adversary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates strategy, plan and simulation failures.
+    pub fn run(&self) -> Result<Vec<ScenarioResult>> {
+        self.validate()?;
+        let params = Params::new(self.n, self.f)?;
+        let strategy = self.build_strategy()?;
+        let plans: Vec<Box<dyn TrajectoryPlan>> = strategy.plans(params)?;
+        let xmax = self
+            .targets
+            .iter()
+            .map(|x| x.abs())
+            .fold(1.0f64, f64::max);
+        let horizon = strategy.horizon_hint(params, xmax * 1.01 + 1.0);
+        let trajectories = plans
+            .iter()
+            .map(|p| p.materialize(horizon))
+            .collect::<Result<Vec<_>>>()?;
+
+        self.targets
+            .iter()
+            .map(|&x| {
+                let target = Target::new(x)?;
+                let outcome: SearchOutcome = match &self.faulty {
+                    Some(faulty) => {
+                        let mask = FaultMask::from_indices(self.n, faulty)?;
+                        Simulation::new(trajectories.clone(), target, &mask, SimConfig::default())?
+                            .run()
+                    }
+                    None => worst_case_outcome(
+                        trajectories.clone(),
+                        target,
+                        self.f,
+                        SimConfig::default(),
+                    )?,
+                };
+                Ok(ScenarioResult {
+                    target: x,
+                    detection_time: outcome.detection.map(|d| d.time),
+                    ratio: outcome.ratio(),
+                    detected_by: outcome.detection.map(|d| d.robot.0),
+                    distinct_visitors: outcome.distinct_visitors(),
+                })
+            })
+            .collect()
+    }
+}
+
+/// Serializes results back to pretty JSON (for piping to other tools).
+///
+/// # Errors
+///
+/// Returns [`Error::Domain`] on serialization failure (cannot happen
+/// for well-formed results).
+pub fn results_to_json(results: &[ScenarioResult]) -> Result<String> {
+    serde_json::to_string_pretty(results)
+        .map_err(|e| Error::domain(format!("serialization failed: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASIC: &str = r#"{
+        "n": 3, "f": 1,
+        "targets": [2.0, -4.5]
+    }"#;
+
+    #[test]
+    fn parses_with_defaults() {
+        let s = Scenario::from_json(BASIC).unwrap();
+        assert_eq!(s.strategy, "paper");
+        assert_eq!(s.faulty, None);
+        assert_eq!(s.targets.len(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_and_invalid() {
+        assert!(Scenario::from_json("{").is_err());
+        assert!(Scenario::from_json(r#"{"n": 1, "f": 3, "targets": [2.0]}"#).is_err());
+        assert!(Scenario::from_json(r#"{"n": 3, "f": 1, "targets": []}"#).is_err());
+        assert!(Scenario::from_json(
+            r#"{"n": 3, "f": 1, "strategy": "nope", "targets": [2.0]}"#
+        )
+        .is_err());
+        assert!(Scenario::from_json(
+            r#"{"n": 3, "f": 1, "strategy": "fixed-beta", "targets": [2.0]}"#
+        )
+        .is_err());
+        assert!(Scenario::from_json(
+            r#"{"n": 3, "f": 1, "beta": 2.0, "targets": [2.0]}"#
+        )
+        .is_err());
+        assert!(Scenario::from_json(
+            r#"{"n": 3, "f": 1, "targets": [2.0], "faulty": [0, 1]}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn runs_with_worst_case_adversary() {
+        let s = Scenario::from_json(BASIC).unwrap();
+        let results = s.run().unwrap();
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert!(r.detection_time.is_some(), "target {}", r.target);
+            assert!(r.ratio <= 5.2331 + 1e-6);
+            assert_eq!(r.distinct_visitors, 2, "f + 1 visits under the adversary");
+        }
+    }
+
+    #[test]
+    fn runs_with_explicit_faults() {
+        let s = Scenario::from_json(
+            r#"{"n": 3, "f": 1, "targets": [2.0], "faulty": [0]}"#,
+        )
+        .unwrap();
+        let results = s.run().unwrap();
+        assert!(results[0].detection_time.is_some());
+        assert_ne!(results[0].detected_by, Some(0), "robot 0 is faulty");
+    }
+
+    #[test]
+    fn fixed_beta_scenario() {
+        let s = Scenario::from_json(
+            r#"{"n": 3, "f": 1, "strategy": "fixed-beta", "beta": 2.5, "targets": [3.0]}"#,
+        )
+        .unwrap();
+        let results = s.run().unwrap();
+        assert!(results[0].ratio.is_finite());
+    }
+
+    #[test]
+    fn incomplete_strategy_reports_honestly() {
+        let s = Scenario::from_json(
+            r#"{"n": 3, "f": 1, "strategy": "pessimal-split", "targets": [-5.0]}"#,
+        )
+        .unwrap();
+        let results = s.run().unwrap();
+        assert!(results[0].ratio.is_infinite());
+        assert_eq!(results[0].detection_time, None);
+    }
+
+    #[test]
+    fn results_serialize() {
+        let s = Scenario::from_json(BASIC).unwrap();
+        let json = results_to_json(&s.run().unwrap()).unwrap();
+        assert!(json.contains("\"target\": 2.0"));
+        let back: Vec<ScenarioResult> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 2);
+    }
+}

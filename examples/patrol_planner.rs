@@ -1,0 +1,86 @@
+//! Patrol planner: a domain scenario from the paper's motivation.
+//!
+//! A pipeline operator must locate a leak somewhere along an
+//! (effectively) infinite pipeline using a pool of inspection drones
+//! whose sensors are unreliable: field data says up to `f` of them may
+//! have silently broken detectors. A point is only *confirmed* clear or
+//! leaking after `f + 1` distinct drones have flown over it.
+//!
+//! The planner answers two operational questions:
+//! 1. Given `n` drones and a sensor-failure budget `f`, what response
+//!    time guarantee (competitive ratio) can we promise?
+//! 2. How many drones do we need to buy to promise a target ratio?
+//!
+//! It also exports the flight schedule as an SVG space-time diagram.
+//!
+//! ```text
+//! cargo run -p faultline-suite --example patrol_planner
+//! ```
+
+use faultline_suite::analysis::ascii::{render_table, Series};
+use faultline_suite::analysis::svg::{SvgCanvas, PALETTE};
+use faultline_suite::core::{lower_bound, ratio, Algorithm, Params, Regime};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Question 1: the promise table for a fixed pool of 7 drones.
+    println!("== Guarantees for a pool of 7 drones ==");
+    let mut rows = Vec::new();
+    for f in 0..7usize {
+        let params = Params::new(7, f)?;
+        let cr = ratio::cr_upper(params);
+        let lb = lower_bound::lower_bound(params)?;
+        rows.push(vec![
+            f.to_string(),
+            format!("{:?}", params.regime()),
+            format!("{cr:.4}"),
+            format!("{lb:.4}"),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(&["faulty sensors", "regime", "promised ratio", "best possible"], &rows)
+    );
+    println!();
+
+    // Question 2: smallest fleet that promises ratio <= 4.0 with up to
+    // 2 broken sensors.
+    let target_ratio = 4.0;
+    let f = 2usize;
+    let n_needed = ratio::min_robots(f, target_ratio)?;
+    println!(
+        "smallest fleet promising ratio <= {target_ratio} with {f} broken sensors: {n_needed} drones \
+         (ratio {:.4})",
+        ratio::cr_upper(Params::new(n_needed, f)?)
+    );
+    println!();
+
+    // Export the flight plan for that fleet as an SVG diagram.
+    let params = Params::new(n_needed, f)?;
+    let algorithm = Algorithm::design(params)?;
+    println!("{}", algorithm.describe());
+    let horizon = match params.regime() {
+        Regime::Proportional => algorithm.required_horizon(8.0)?,
+        Regime::TwoGroup => 12.0,
+    };
+    let mut series = Vec::new();
+    for (i, plan) in algorithm.plans().iter().enumerate() {
+        let traj = plan.materialize(horizon)?;
+        series.push(Series::new(
+            format!("drone {i}"),
+            traj.waypoints().iter().map(|p| (p.x, p.t)).collect(),
+        ));
+    }
+    let reach = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.0.abs()))
+        .fold(1.0f64, f64::max);
+    let mut canvas = SvgCanvas::new(800.0, 600.0, (-reach, reach), (0.0, horizon))?;
+    canvas.axes();
+    for (i, s) in series.iter().enumerate() {
+        canvas.polyline(&s.points, PALETTE[i % PALETTE.len()], 1.5);
+    }
+    std::fs::create_dir_all("out")?;
+    std::fs::write("out/patrol_plan.svg", canvas.into_svg())?;
+    println!("flight plan written to out/patrol_plan.svg");
+    Ok(())
+}

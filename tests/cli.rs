@@ -1,0 +1,113 @@
+//! End-to-end tests of the `faultline` CLI binary: every subcommand is
+//! spawned as a real process and its output checked.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_faultline"))
+        .args(args)
+        .output()
+        .expect("failed to spawn the faultline binary");
+    (
+        output.status.success(),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn design_prints_schedule_details() {
+    let (ok, out, _) = run(&["design", "3", "1"]);
+    assert!(ok);
+    assert!(out.contains("proportional schedule"));
+    assert!(out.contains("beta = 1.666667"));
+    assert!(out.contains("tau_j"));
+}
+
+#[test]
+fn design_two_group_regime() {
+    let (ok, out, _) = run(&["design", "6", "2"]);
+    assert!(ok);
+    assert!(out.contains("two-group"));
+}
+
+#[test]
+fn simulate_with_worst_case_adversary() {
+    let (ok, out, _) = run(&["simulate", "3", "1", "-4.5"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("worst-case adversary"));
+    assert!(out.contains("detected by"));
+    assert!(out.contains("guarantee 5.2331"));
+}
+
+#[test]
+fn simulate_with_explicit_faults() {
+    let (ok, out, _) = run(&["simulate", "3", "1", "2.0", "0"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("detected by"));
+}
+
+#[test]
+fn simulate_rejects_excess_faults() {
+    let (ok, _, err) = run(&["simulate", "3", "1", "2.0", "0,1"]);
+    assert!(!ok);
+    assert!(err.contains("exceed the tolerance"));
+}
+
+#[test]
+fn bounds_reports_both_directions() {
+    let (ok, out, _) = run(&["bounds", "11", "5"]);
+    assert!(ok);
+    assert!(out.contains("upper bound"));
+    assert!(out.contains("lower bound"));
+    assert!(out.contains("3.7348"), "{out}");
+    assert!(out.contains("12.0000"), "expansion factor 12: {out}");
+}
+
+#[test]
+fn spectrum_marks_the_design_index() {
+    let (ok, out, _) = run(&["spectrum", "5", "2", "10"]);
+    assert!(ok);
+    assert!(out.contains("<- f+1"));
+}
+
+#[test]
+fn timeline_renders() {
+    let (ok, out, _) = run(&["timeline", "3", "1", "20", "-3"]);
+    assert!(ok);
+    assert!(out.contains("position"));
+    assert!(out.lines().count() > 10);
+}
+
+#[test]
+fn scenario_file_roundtrip() {
+    let dir = std::env::temp_dir().join("faultline-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("scenario.json");
+    std::fs::write(&path, r#"{"n": 3, "f": 1, "targets": [2.0], "faulty": [1]}"#).unwrap();
+    let (ok, out, _) = run(&["scenario", path.to_str().unwrap()]);
+    assert!(ok, "{out}");
+    assert!(out.contains("\"target\": 2.0"));
+    assert!(out.contains("\"detected_by\""));
+}
+
+#[test]
+fn scenario_rejects_bad_file() {
+    let (ok, _, err) = run(&["scenario", "/nonexistent/scenario.json"]);
+    assert!(!ok);
+    assert!(!err.is_empty());
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let (ok, _, err) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("usage:"));
+}
+
+#[test]
+fn invalid_params_fail_gracefully() {
+    let (ok, _, err) = run(&["design", "2", "5"]);
+    assert!(!ok);
+    assert!(err.contains("n must exceed f"));
+}

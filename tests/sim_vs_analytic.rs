@@ -1,0 +1,95 @@
+//! Integration test: the discrete-event simulator and the analytic
+//! coverage evaluation are two fully independent implementations of the
+//! same semantics; they must agree everywhere.
+
+use faultline_suite::analysis::{measure_strategy_cr, measure_strategy_cr_sim};
+use faultline_suite::core::coverage::Fleet;
+use faultline_suite::core::numeric::logspace;
+use faultline_suite::core::{Algorithm, Params};
+use faultline_suite::sim::engine::SimConfig;
+use faultline_suite::sim::{worst_case_outcome, Target};
+use faultline_suite::strategies::{all_strategies, PaperStrategy};
+
+#[test]
+fn detection_times_agree_on_a_log_grid() {
+    for (n, f) in [(2usize, 1usize), (3, 1), (3, 2), (5, 2), (5, 3), (7, 3)] {
+        let params = Params::new(n, f).unwrap();
+        let alg = Algorithm::design(params).unwrap();
+        let horizon = alg.required_horizon(64.0).unwrap();
+        let trajectories: Vec<_> = alg
+            .plans()
+            .iter()
+            .map(|p| p.materialize(horizon).unwrap())
+            .collect();
+        let fleet = Fleet::new(trajectories.clone()).unwrap();
+        for x in logspace(1.0, 60.0, 17).unwrap() {
+            for target in [x, -x] {
+                let sim = worst_case_outcome(
+                    trajectories.clone(),
+                    Target::new(target).unwrap(),
+                    f,
+                    SimConfig::default(),
+                )
+                .unwrap()
+                .detection
+                .unwrap()
+                .time;
+                let analytic = fleet.visit_time(target, f + 1).unwrap();
+                assert!(
+                    (sim - analytic).abs() < 1e-9 * analytic.max(1.0),
+                    "(n={n}, f={f}), x={target}: sim {sim} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn both_measurement_paths_agree_for_every_strategy() {
+    let params = Params::new(5, 3).unwrap();
+    for strategy in all_strategies() {
+        if strategy.plans(params).is_err() {
+            continue;
+        }
+        let a = measure_strategy_cr(strategy.as_ref(), params, 15.0, 32).unwrap();
+        let b = measure_strategy_cr_sim(strategy.as_ref(), params, 15.0, 32).unwrap();
+        if a.empirical.is_finite() {
+            assert!(
+                (a.empirical - b.empirical).abs() < 1e-9,
+                "{}: {} vs {}",
+                strategy.name(),
+                a.empirical,
+                b.empirical
+            );
+        } else {
+            assert!(b.empirical.is_infinite(), "{}", strategy.name());
+        }
+        assert_eq!(a.uncovered, b.uncovered, "{}", strategy.name());
+    }
+}
+
+#[test]
+fn simulator_trace_is_consistent_with_detection() {
+    let params = Params::new(3, 1).unwrap();
+    let strategy = PaperStrategy::new();
+    let plans = faultline_suite::strategies::Strategy::plans(&strategy, params).unwrap();
+    let horizon = faultline_suite::strategies::Strategy::horizon_hint(&strategy, params, 9.0);
+    let trajectories: Vec<_> = plans.iter().map(|p| p.materialize(horizon).unwrap()).collect();
+    let outcome = worst_case_outcome(
+        trajectories,
+        Target::new(7.7).unwrap(),
+        params.f(),
+        SimConfig { record_trace: true, stop_at_detection: true },
+    )
+    .unwrap();
+    let detection = outcome.detection.unwrap();
+    let trace = outcome.trace.as_ref().unwrap();
+    // The trace ends at the detection event; nothing later is recorded.
+    let last = trace.last().unwrap();
+    assert_eq!(last.time, detection.time);
+    assert!(trace.windows(2).all(|w| w[0].time <= w[1].time), "trace is time-ordered");
+    // The detection's robot matches the final reliable visit.
+    let last_visit = outcome.visits.last().unwrap();
+    assert!(last_visit.reliable);
+    assert_eq!(last_visit.robot, detection.robot);
+}
