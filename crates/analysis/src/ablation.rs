@@ -118,11 +118,7 @@ mod tests {
         assert!((ablation.beta_star - 5.0 / 3.0).abs() < 1e-12);
         // Every swept sample is at least the optimum.
         for s in &ablation.samples {
-            assert!(
-                s.analytic >= ablation.cr_star - 1e-12,
-                "beta = {} beat beta*",
-                s.beta
-            );
+            assert!(s.analytic >= ablation.cr_star - 1e-12, "beta = {} beat beta*", s.beta);
         }
         // The sweep brackets the optimum.
         assert!(ablation.samples.first().unwrap().beta < ablation.beta_star);

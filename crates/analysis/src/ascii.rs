@@ -166,10 +166,7 @@ mod tests {
     fn table_alignment() {
         let out = render_table(
             &["name", "value"],
-            &[
-                vec!["a".into(), "1".into()],
-                vec!["longer-name".into(), "123.456".into()],
-            ],
+            &[vec!["a".into(), "1".into()], vec!["longer-name".into(), "123.456".into()]],
         );
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -131,11 +131,7 @@ mod tests {
             sum += t / x;
         }
         let mc = sum / samples as f64;
-        assert!(
-            (mc - exact.expected).abs() < 0.03,
-            "Monte Carlo {mc} vs exact {}",
-            exact.expected
-        );
+        assert!((mc - exact.expected).abs() < 0.03, "Monte Carlo {mc} vs exact {}", exact.expected);
     }
 
     #[test]

@@ -41,12 +41,8 @@ pub fn bounded_cr(params: Params, bound: f64, grid: usize) -> Result<BoundedSamp
     let plans = algorithm.plans()?;
     let fleet = Fleet::from_plans(&plans, horizon)?;
     // Turning points of the clamped fleet (includes the ±D shuttles).
-    let turning: Vec<f64> = fleet
-        .trajectories()
-        .iter()
-        .flat_map(|t| t.turning_points())
-        .map(|p| p.x)
-        .collect();
+    let turning: Vec<f64> =
+        fleet.trajectories().iter().flat_map(|t| t.turning_points()).map(|p| p.x).collect();
     let targets: Vec<f64> = adversarial_targets(&turning, bound * (1.0 + 1e-9), grid, 1e-9)?
         .into_iter()
         .filter(|x| x.abs() <= bound)

@@ -1,59 +1,21 @@
 //! Parallel parameter sweeps built on crossbeam scoped threads.
+//!
+//! The implementation moved to [`faultline_core::parallel`] so the
+//! simulator's fault-space explorer can share it; this module re-exports
+//! it under the historical path.
 
-use crossbeam::thread;
-
-/// Maps `f` over `items` in parallel, preserving order.
-///
-/// Work is split into one contiguous chunk per available core; the
-/// closure must be `Sync` because it is shared across threads. Panics
-/// in worker threads are propagated.
-pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    if items.is_empty() {
-        return Vec::new();
-    }
-    let workers = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
-    let chunk = items.len().div_ceil(workers);
-    thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .map(|slice| scope.spawn(|_| slice.iter().map(&f).collect::<Vec<R>>()))
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("worker thread panicked"))
-            .collect()
-    })
-    .expect("crossbeam scope failed")
-}
+pub use faultline_core::parallel::par_map;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn preserves_order() {
-        let items: Vec<u64> = (0..1000).collect();
+    fn reexport_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
         let doubled = par_map(&items, |&x| x * 2);
-        assert_eq!(doubled.len(), 1000);
         for (i, v) in doubled.iter().enumerate() {
             assert_eq!(*v, 2 * i as u64);
         }
-    }
-
-    #[test]
-    fn handles_empty_input() {
-        let out: Vec<u8> = par_map(&Vec::<u8>::new(), |&x| x);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn handles_fewer_items_than_cores() {
-        let out = par_map(&[1, 2], |&x| x + 1);
-        assert_eq!(out, vec![2, 3]);
     }
 }

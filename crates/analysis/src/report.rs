@@ -66,10 +66,8 @@ impl ExperimentReport {
 pub fn render_report(title: &str, sections: &[ExperimentReport]) -> String {
     let mut out = format!("# {title}\n\n");
     let total: usize = sections.iter().map(|s| s.comparisons.len()).sum();
-    let matching: usize = sections
-        .iter()
-        .map(|s| s.comparisons.iter().filter(|c| c.matches).count())
-        .sum();
+    let matching: usize =
+        sections.iter().map(|s| s.comparisons.iter().filter(|c| c.matches).count()).sum();
     out.push_str(&format!("{matching}/{total} comparisons match.\n\n"));
     for s in sections {
         out.push_str(&s.to_markdown());

@@ -34,12 +34,8 @@ pub const TURNING_POINT_EPS: f64 = 1e-9;
 ///
 /// Propagates grid construction failures.
 pub fn fleet_targets(fleet: &Fleet, xmax: f64, grid_points: usize) -> Result<Vec<f64>> {
-    let turning: Vec<f64> = fleet
-        .trajectories()
-        .iter()
-        .flat_map(|t| t.turning_points())
-        .map(|p| p.x)
-        .collect();
+    let turning: Vec<f64> =
+        fleet.trajectories().iter().flat_map(|t| t.turning_points()).map(|p| p.x).collect();
     adversarial_targets(&turning, xmax, grid_points, TURNING_POINT_EPS)
 }
 
@@ -86,8 +82,7 @@ pub fn measure_strategy_cr_sim(
     let horizon = strategy.horizon_hint(params, xmax * (1.0 + 2.0 * TURNING_POINT_EPS));
     let fleet = Fleet::from_plans(&plans, horizon)?;
     let targets = fleet_targets(&fleet, xmax, grid_points)?;
-    let result =
-        faultline_sim::empirical_competitive_ratio(&plans, params.f(), &targets, horizon)?;
+    let result = faultline_sim::empirical_competitive_ratio(&plans, params.f(), &targets, horizon)?;
     Ok(MeasuredCr {
         analytic: strategy.analytic_cr(params),
         empirical: result.ratio,

@@ -37,8 +37,8 @@ impl SvgCanvas {
     fn map(&self, x: f64, y: f64) -> (f64, f64) {
         let px = (x - self.x_range.0) / (self.x_range.1 - self.x_range.0) * self.width;
         // SVG y grows downwards; flip so time grows upwards.
-        let py = self.height
-            - (y - self.y_range.0) / (self.y_range.1 - self.y_range.0) * self.height;
+        let py =
+            self.height - (y - self.y_range.0) / (self.y_range.1 - self.y_range.0) * self.height;
         (px, py)
     }
 
@@ -71,10 +71,7 @@ impl SvgCanvas {
     /// Places a text label at a problem-space point.
     pub fn text(&mut self, x: f64, y: f64, content: &str) {
         let (px, py) = self.map(x, y);
-        let escaped = content
-            .replace('&', "&amp;")
-            .replace('<', "&lt;")
-            .replace('>', "&gt;");
+        let escaped = content.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;");
         self.elements.push(format!(
             "<text x=\"{px:.2}\" y=\"{py:.2}\" font-size=\"12\" font-family=\"monospace\">{escaped}</text>"
         ));

@@ -25,14 +25,10 @@ pub fn render_timeline(
     if rows < 2 || width < 16 {
         return Err(Error::domain("timeline needs at least 2 rows and width 16"));
     }
-    let horizon = trajectories
-        .iter()
-        .map(PiecewiseTrajectory::horizon)
-        .fold(f64::INFINITY, f64::min);
-    let mut reach = trajectories.iter().map(PiecewiseTrajectory::max_excursion).fold(
-        1.0f64,
-        f64::max,
-    );
+    let horizon =
+        trajectories.iter().map(PiecewiseTrajectory::horizon).fold(f64::INFINITY, f64::min);
+    let mut reach =
+        trajectories.iter().map(PiecewiseTrajectory::max_excursion).fold(1.0f64, f64::max);
     if let Some(x) = target {
         reach = reach.max(x.abs());
     }
@@ -93,8 +89,7 @@ mod tests {
     #[test]
     fn renders_the_paper_algorithm() {
         let alg = Algorithm::design(Params::new(3, 1).unwrap()).unwrap();
-        let trajs: Vec<_> =
-            alg.plans().iter().map(|p| p.materialize(40.0).unwrap()).collect();
+        let trajs: Vec<_> = alg.plans().iter().map(|p| p.materialize(40.0).unwrap()).collect();
         let text = render_timeline(&trajs, Some(-4.0), 20, 60).unwrap();
         assert_eq!(text.lines().count(), 21); // header + 20 rows
         assert!(text.contains('0') && text.contains('1') && text.contains('2'));
@@ -108,8 +103,7 @@ mod tests {
     #[test]
     fn robot_glyphs_extend_past_ten() {
         let alg = Algorithm::design(Params::new(11, 5).unwrap()).unwrap();
-        let trajs: Vec<_> =
-            alg.plans().iter().map(|p| p.materialize(30.0).unwrap()).collect();
+        let trajs: Vec<_> = alg.plans().iter().map(|p| p.materialize(30.0).unwrap()).collect();
         let text = render_timeline(&trajs, None, 12, 72).unwrap();
         assert!(text.contains('a'), "robot 10 drawn as 'a'");
     }

@@ -64,9 +64,8 @@ pub fn sweep(params: Params, costs: &[f64], xmax: f64, grid: usize) -> Result<Ve
     costs
         .iter()
         .map(|&c| {
-            let objective = |beta: f64| {
-                cost_cr(params, beta, c, xmax, grid).unwrap_or(f64::INFINITY)
-            };
+            let objective =
+                |beta: f64| cost_cr(params, beta, c, xmax, grid).unwrap_or(f64::INFINITY);
             let best_beta =
                 numeric::golden_min(objective, 1.0 + 1e-6, 8.0 * paper_beta, 1e-4, 200)?;
             Ok(TurnCostSample {

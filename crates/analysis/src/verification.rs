@@ -79,11 +79,8 @@ pub fn run_matrix(params: Params, xmax: f64, grid: usize) -> Result<MatrixReport
     })?;
     let cf = ClosedForm::new(schedule);
     let horizon = alg.required_horizon(xmax * 1.01)?;
-    let trajectories: Vec<_> = alg
-        .plans()
-        .iter()
-        .map(|p| p.materialize(horizon))
-        .collect::<Result<Vec<_>>>()?;
+    let trajectories: Vec<_> =
+        alg.plans().iter().map(|p| p.materialize(horizon)).collect::<Result<Vec<_>>>()?;
     let fleet = Fleet::new(trajectories.clone())?;
 
     let mut targets: Vec<f64> = Vec::new();

@@ -17,9 +17,7 @@ fn bench_extensions(c: &mut Criterion) {
 
     group.bench_function("bound_sweep_4_points", |b| {
         b.iter(|| {
-            black_box(
-                bounded::bound_sweep(params, &[1.5, 3.0, 8.0, 30.0], 32).expect("sweep"),
-            )
+            black_box(bounded::bound_sweep(params, &[1.5, 3.0, 8.0, 30.0], 32).expect("sweep"))
         });
     });
 

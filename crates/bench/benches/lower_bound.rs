@@ -26,15 +26,10 @@ fn bench_lower_bound(c: &mut Criterion) {
         let points = lower_bound::adversary_points(3, alpha).expect("points");
         let xmax = points[0] * 1.1;
         let horizon = alg.required_horizon(xmax).expect("horizon");
-        let trajectories: Vec<_> = alg
-            .plans()
-            .iter()
-            .map(|p| p.materialize(horizon).expect("materialize"))
-            .collect();
+        let trajectories: Vec<_> =
+            alg.plans().iter().map(|p| p.materialize(horizon).expect("materialize")).collect();
         b.iter(|| {
-            black_box(
-                lower_bound::adversarial_ratio(&trajectories, 1, 3, alpha).expect("game"),
-            )
+            black_box(lower_bound::adversarial_ratio(&trajectories, 1, 3, alpha).expect("game"))
         });
     });
 

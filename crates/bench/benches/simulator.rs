@@ -4,9 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use faultline_core::{Algorithm, Params};
 use faultline_sim::engine::SimConfig;
-use faultline_sim::{
-    run_sweep, worst_case_outcome, BernoulliFaults, MonteCarloConfig, Target,
-};
+use faultline_sim::{run_sweep, worst_case_outcome, BernoulliFaults, MonteCarloConfig, Target};
 use faultline_strategies::{PaperStrategy, Strategy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -19,11 +17,8 @@ fn bench_simulator(c: &mut Criterion) {
         let params = Params::new(n, f).expect("params");
         let alg = Algorithm::design(params).expect("design");
         let horizon = alg.required_horizon(60.0).expect("horizon");
-        let trajectories: Vec<_> = alg
-            .plans()
-            .iter()
-            .map(|p| p.materialize(horizon).expect("materialize"))
-            .collect();
+        let trajectories: Vec<_> =
+            alg.plans().iter().map(|p| p.materialize(horizon).expect("materialize")).collect();
         group.bench_function(format!("worst_case_search_n{n}_f{f}"), |b| {
             b.iter(|| {
                 black_box(

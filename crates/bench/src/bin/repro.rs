@@ -7,8 +7,15 @@
 //! Usage:
 //!
 //! ```text
-//! repro [table1|fig5|figures|ablation|lower-bound|montecarlo|all] [--fast]
+//! repro [table1|fig5|figures|ablation|lower-bound|montecarlo|explore|all] [--fast] [--seed=N]
+//! repro replay <trace.json>
 //! ```
+//!
+//! `--seed=N` re-seeds the Monte-Carlo section (fault stream `N`,
+//! target stream `N + 2`; default `N = 11`) and the fault-space
+//! explorer's subsampler, keeping every figure reproducible from a
+//! single number. `replay` re-executes a recorded failure trace
+//! bit-for-bit and exits non-zero if the outcome diverges.
 
 use std::fs;
 use std::path::Path;
@@ -29,11 +36,21 @@ mod rand_free {
     pub fn main_impl() -> Result<(), Box<dyn std::error::Error>> {
         let args: Vec<String> = std::env::args().skip(1).collect();
         let fast = args.iter().any(|a| a == "--fast");
-        let command = args.iter().find(|a| !a.starts_with("--")).map_or("all", |s| s.as_str());
+        let seed: Option<u64> = args
+            .iter()
+            .find_map(|a| a.strip_prefix("--seed="))
+            .map(|s| s.parse().map_err(|e| format!("invalid --seed value `{s}`: {e}")))
+            .transpose()?;
+        let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+        let command = positional.first().map_or("all", |s| s.as_str());
+        let operand = positional.get(1).map(|s| s.as_str());
         let out_dir = Path::new("out");
         fs::create_dir_all(out_dir)?;
 
-        println!("faultline repro v{} — Search on a Line with Faulty Robots (PODC 2016)", faultline_bench::VERSION);
+        println!(
+            "faultline repro v{} — Search on a Line with Faulty Robots (PODC 2016)",
+            faultline_bench::VERSION
+        );
         println!();
 
         match command {
@@ -42,25 +59,32 @@ mod rand_free {
             "figures" => run_figures(out_dir)?,
             "ablation" => run_ablation(out_dir, fast)?,
             "lower-bound" => run_lower_bound()?,
-            "montecarlo" => run_montecarlo()?,
+            "montecarlo" => run_montecarlo(seed.unwrap_or(11))?,
             "extensions" => run_extensions(out_dir)?,
             "verify" => run_verify()?,
             "certify" => run_certify()?,
+            "explore" => run_explore(out_dir, fast, seed.unwrap_or(0))?,
+            "replay" => {
+                let path = operand.ok_or("replay needs a trace file: repro replay <trace.json>")?;
+                run_replay(path)?;
+            }
             "all" => {
                 run_table1(out_dir, fast)?;
                 run_fig5(out_dir, fast)?;
                 run_figures(out_dir)?;
                 run_ablation(out_dir, fast)?;
                 run_lower_bound()?;
-                run_montecarlo()?;
+                run_montecarlo(seed.unwrap_or(11))?;
                 run_extensions(out_dir)?;
                 run_verify()?;
                 run_certify()?;
+                run_explore(out_dir, fast, seed.unwrap_or(0))?;
             }
             other => {
                 eprintln!(
                     "unknown command `{other}`; expected table1 | fig5 | figures | ablation | \
-                     lower-bound | montecarlo | extensions | verify | certify | all"
+                     lower-bound | montecarlo | extensions | verify | certify | explore | \
+                     replay <trace.json> | all"
                 );
                 std::process::exit(2);
             }
@@ -156,12 +180,8 @@ fn run_ablation(out_dir: &Path, fast: bool) -> Result<(), Box<dyn std::error::Er
     for (n, f) in [(3usize, 1usize), (5, 2), (5, 3)] {
         let params = Params::new(n, f)?;
         let sweep = ablation::beta_sweep(params, if fast { 9 } else { 17 }, !fast)?;
-        println!(
-            "A({n}, {f}): beta* = {:.4}, CR(beta*) = {:.4}",
-            sweep.beta_star, sweep.cr_star
-        );
-        let series: Vec<(f64, f64)> =
-            sweep.samples.iter().map(|s| (s.beta, s.analytic)).collect();
+        println!("A({n}, {f}): beta* = {:.4}, CR(beta*) = {:.4}", sweep.beta_star, sweep.cr_star);
+        let series: Vec<(f64, f64)> = sweep.samples.iter().map(|s| (s.beta, s.analytic)).collect();
         print!("{}", line_chart(&[Series::new("CR(beta)", series)], 64, 12));
         let mut csv = String::from("beta,analytic,measured\n");
         for s in &sweep.samples {
@@ -188,10 +208,7 @@ fn run_ablation(out_dir: &Path, fast: bool) -> Result<(), Box<dyn std::error::Er
             ]);
         }
     }
-    print!(
-        "{}",
-        render_table(&["f designed", "f true", "CR", "CR oracle", "penalty"], &rows)
-    );
+    print!("{}", render_table(&["f designed", "f true", "CR", "CR oracle", "penalty"], &rows));
     println!();
     Ok(())
 }
@@ -201,7 +218,8 @@ fn run_lower_bound() -> Result<(), Box<dyn std::error::Error>> {
     let mut rows = Vec::new();
     for n in [1usize, 2, 3, 4, 5, 11, 41, 101, 1001] {
         let a = lower_bound::alpha(n)?;
-        let c2 = if n >= 3 { format!("{:.5}", lower_bound::corollary2_lower(n)?) } else { "-".into() };
+        let c2 =
+            if n >= 3 { format!("{:.5}", lower_bound::corollary2_lower(n)?) } else { "-".into() };
         rows.push(vec![n.to_string(), format!("{a:.5}"), c2]);
     }
     print!("{}", render_table(&["n", "alpha(n)", "Cor.2 asymptote"], &rows));
@@ -210,9 +228,7 @@ fn run_lower_bound() -> Result<(), Box<dyn std::error::Error>> {
     let params = Params::new(3, 1)?;
     let mut rows = Vec::new();
     for strategy in all_strategies() {
-        let cr = strategy
-            .analytic_cr(params)
-            .map_or("n/a".to_owned(), |v| format!("{v:.4}"));
+        let cr = strategy.analytic_cr(params).map_or("n/a".to_owned(), |v| format!("{v:.4}"));
         let measured = faultline_analysis::measure_strategy_cr(strategy.as_ref(), params, 30.0, 48)
             .map(|m| {
                 if m.empirical.is_finite() {
@@ -234,12 +250,13 @@ fn run_lower_bound() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn run_montecarlo() -> Result<(), Box<dyn std::error::Error>> {
-    use faultline_sim::{run_sweep_ratios, BernoulliFaults, MonteCarloConfig, RatioStats};
+fn run_montecarlo(seed: u64) -> Result<(), Box<dyn std::error::Error>> {
+    use faultline_sim::{run_sweep_ratios_seeded, BernoulliFaults, MonteCarloConfig, RatioStats};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     println!("== Monte Carlo: random faults vs the worst case, A(5, 2) ==");
+    println!("(seed {seed}: fault stream {seed}, target stream {})", seed + 2);
     let params = Params::new(5, 2)?;
     let strategy = faultline_strategies::PaperStrategy::new();
     let plans = strategy.plans(params)?;
@@ -247,14 +264,13 @@ fn run_montecarlo() -> Result<(), Box<dyn std::error::Error>> {
     let mut rows = Vec::new();
     let mut heavy_tail: Vec<f64> = Vec::new();
     for p in [0.1, 0.3, 0.5] {
-        let mut faults = BernoulliFaults::new(p, params.f(), StdRng::seed_from_u64(11))?;
-        let mut rng = StdRng::seed_from_u64(13);
-        let ratios = run_sweep_ratios(
+        let mut faults = BernoulliFaults::new(p, params.f(), StdRng::seed_from_u64(seed))?;
+        let ratios = run_sweep_ratios_seeded(
             &plans,
             &mut faults,
             MonteCarloConfig::new(2000, 100.0)?,
             horizon,
-            &mut rng,
+            seed + 2,
         )?;
         let stats = RatioStats::from_ratios(&ratios)?;
         if p == 0.5 {
@@ -315,16 +331,10 @@ fn run_extensions(out_dir: &Path) -> Result<(), Box<dyn std::error::Error>> {
             ]
         })
         .collect();
-    print!(
-        "{}",
-        render_table(&["c", "best beta", "best cost-CR", "cost-CR at beta*"], &rows)
-    );
+    print!("{}", render_table(&["c", "best beta", "best cost-CR", "cost-CR at beta*"], &rows));
     let mut csv = String::from("c,best_beta,best_cr,cr_at_paper_beta\n");
     for s in &sweep {
-        csv.push_str(&format!(
-            "{},{},{},{}\n",
-            s.c, s.best_beta, s.best_cr, s.cr_at_paper_beta
-        ));
+        csv.push_str(&format!("{},{},{},{}\n", s.c, s.best_beta, s.best_cr, s.cr_at_paper_beta));
     }
     fs::write(out_dir.join("extension_turncost.csv"), csv)?;
 
@@ -381,11 +391,8 @@ fn run_extensions(out_dir: &Path) -> Result<(), Box<dyn std::error::Error>> {
         let params = Params::new(3, 1)?;
         let alg = faultline_core::Algorithm::design(params)?;
         let horizon = alg.required_horizon(21.0)?;
-        let trajs: Vec<_> = alg
-            .plans()
-            .iter()
-            .map(|p| p.materialize(horizon))
-            .collect::<Result<Vec<_>, _>>()?;
+        let trajs: Vec<_> =
+            alg.plans().iter().map(|p| p.materialize(horizon)).collect::<Result<Vec<_>, _>>()?;
         let fleet = Fleet::new(trajs.clone())?;
         let mut rows = Vec::new();
         for x in [1.0 + 1e-9, -2.5, 7.0, -20.0] {
@@ -420,10 +427,7 @@ fn run_extensions(out_dir: &Path) -> Result<(), Box<dyn std::error::Error>> {
                 format!("{:.2}x", avg.pessimism()),
             ]);
         }
-        print!(
-            "{}",
-            render_table(&["(n, f)", "E[K] exact", "worst case", "pessimism"], &rows)
-        );
+        print!("{}", render_table(&["(n, f)", "E[K] exact", "worst case", "pessimism"], &rows));
     }
     println!("(written to out/extension_*.csv)\n");
     Ok(())
@@ -467,14 +471,79 @@ fn run_certify() -> Result<(), Box<dyn std::error::Error>> {
             ]
         })
         .collect();
-    print!(
-        "{}",
-        render_table(&["quantity", "certified lo", "certified hi", "width"], &rows)
-    );
+    print!("{}", render_table(&["quantity", "certified lo", "certified hi", "width"], &rows));
     println!(
         "every Table-1 value above is PROVEN to lie in its interval \
          (monotone sign argument for alpha, direct interval evaluation for CR).\n"
     );
+    Ok(())
+}
+
+fn run_explore(out_dir: &Path, fast: bool, seed: u64) -> Result<(), Box<dyn std::error::Error>> {
+    use faultline_sim::{explore_fault_space, ExplorerConfig, Target};
+
+    println!("== Fault-space exploration: detection <= T_(f+1)(x) for every mask ==");
+    let pairs: &[(usize, usize)] = if fast {
+        &[(2, 1), (3, 1), (4, 2)]
+    } else {
+        // Every Table-1 pair with n <= 5: small enough that the mask
+        // enumeration is genuinely exhaustive.
+        &[(2, 1), (3, 1), (3, 2), (4, 2), (4, 3), (5, 2), (5, 3), (5, 4)]
+    };
+    let targets = [1.5, -2.5, 7.0, -13.0];
+    let config = ExplorerConfig { seed, ..ExplorerConfig::default() };
+    let mut violations = 0usize;
+    for &(n, f) in pairs {
+        let params = Params::new(n, f)?;
+        let alg = faultline_core::Algorithm::design(params)?;
+        let horizon = alg.required_horizon(15.0)?;
+        let trajectories =
+            alg.plans().iter().map(|p| p.materialize(horizon)).collect::<Result<Vec<_>, _>>()?;
+        for x in targets {
+            let report = explore_fault_space(&trajectories, Target::new(x)?, f, &config)?;
+            println!("  {}", report.summary());
+            for (i, trace) in report.violations.iter().enumerate() {
+                let path = out_dir.join(format!("violation_n{n}_f{f}_x{x}_{i}.json"));
+                fs::write(&path, trace.to_json()?)?;
+                println!("    shrunk replayable trace written to {}", path.display());
+            }
+            violations += report.violations.len();
+        }
+    }
+    if violations > 0 {
+        return Err(format!(
+            "{violations} adversary-dominance violations found (shrunk traces under out/)"
+        )
+        .into());
+    }
+    println!("adversary-dominance invariant holds across every explored fault space.\n");
+    Ok(())
+}
+
+fn run_replay(path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    use faultline_sim::RunTrace;
+
+    println!("== Replay: {path} ==");
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read trace `{path}`: {e}"))?;
+    let trace = RunTrace::from_json(&text)?;
+    println!("reason:   {}", trace.reason);
+    println!(
+        "fleet:    {} robots, fault plan [{}], seed {}",
+        trace.trajectories.len(),
+        trace.plan.iter().map(|k| k.name()).collect::<Vec<_>>().join(", "),
+        trace.seed,
+    );
+    println!("target:   {}", trace.target);
+    match trace.bound {
+        Some(b) => println!("bound:    T_(f+1) = {b}"),
+        None => println!("bound:    none recorded"),
+    }
+    match &trace.outcome.detection {
+        Some(d) => println!("recorded: detected by a{} at t = {}", d.robot.0, d.time),
+        None => println!("recorded: undetected within the horizon"),
+    }
+    trace.verify()?;
+    println!("replay:   bit-for-bit identical to the recorded outcome.\n");
     Ok(())
 }
 

@@ -27,10 +27,7 @@ pub struct Algorithm {
 #[derive(Debug, Clone, PartialEq)]
 enum Inner {
     /// Two groups of at least `f + 1` robots sent in opposite directions.
-    TwoGroup {
-        right: usize,
-        left: usize,
-    },
+    TwoGroup { right: usize, left: usize },
     /// Proportional schedule `S_beta(n)` with per-robot plans from
     /// Definition 4.
     Proportional(ProportionalSchedule),

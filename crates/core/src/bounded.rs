@@ -169,8 +169,7 @@ impl BoundedAlgorithm {
                 .plans()
                 .into_iter()
                 .map(|p| {
-                    Ok(Box::new(ClampedZigZagPlan::new(p, self.bound)?)
-                        as Box<dyn TrajectoryPlan>)
+                    Ok(Box::new(ClampedZigZagPlan::new(p, self.bound)?) as Box<dyn TrajectoryPlan>)
                 })
                 .collect(),
         }
@@ -274,8 +273,7 @@ mod tests {
             // Scan K over [1, bound] including turning-point limits.
             let targets =
                 crate::coverage::adversarial_targets(&[1.0, bound], bound, 60, 1e-9).unwrap();
-            let inside: Vec<f64> =
-                targets.into_iter().filter(|x| x.abs() <= bound).collect();
+            let inside: Vec<f64> = targets.into_iter().filter(|x| x.abs() <= bound).collect();
             let scan = fleet.supremum(&inside, 2).unwrap();
             assert!(
                 scan.ratio <= cr_free + 1e-6,
@@ -294,10 +292,8 @@ mod tests {
         let bounded = BoundedAlgorithm::design(params, 1.5).unwrap();
         let horizon = bounded.required_horizon();
         let fleet = Fleet::from_plans(&bounded.plans().unwrap(), horizon).unwrap();
-        let targets: Vec<f64> = crate::numeric::linspace(1.0, 1.5, 41)
-            .into_iter()
-            .flat_map(|x| [x, -x])
-            .collect();
+        let targets: Vec<f64> =
+            crate::numeric::linspace(1.0, 1.5, 41).into_iter().flat_map(|x| [x, -x]).collect();
         let scan = fleet.supremum(&targets, 2).unwrap();
         let cr_free = ratio::cr_upper(params);
         assert!(

@@ -69,10 +69,8 @@ pub fn certify_cr_upper(params: Params) -> Result<Certificate> {
     }
     let e = Interval::around((2 * params.f() + 2) as f64 / n)?;
     let one_minus_e = Interval::point(1.0)?.sub(e);
-    let cr = beta_plus_1
-        .powi_interval(e)?
-        .mul(beta_minus_1.powi_interval(one_minus_e)?)
-        .add_scalar(1.0);
+    let cr =
+        beta_plus_1.powi_interval(e)?.mul(beta_minus_1.powi_interval(one_minus_e)?).add_scalar(1.0);
     Ok(Certificate {
         quantity: format!("CR of A({}, {})", params.n(), params.f()),
         lo: cr.lo(),

@@ -140,8 +140,7 @@ mod tests {
 
     fn fleet_for(alg: &Algorithm, xmax: f64) -> Fleet {
         let horizon = alg.required_horizon(xmax).unwrap();
-        Fleet::new(alg.plans().iter().map(|p| p.materialize(horizon).unwrap()).collect())
-            .unwrap()
+        Fleet::new(alg.plans().iter().map(|p| p.materialize(horizon).unwrap()).collect()).unwrap()
     }
 
     #[test]
@@ -252,10 +251,7 @@ mod tests {
             let x = -(first_negative * (1.0 + 1e-9));
             let exact = cf.visit_time(x, f).unwrap();
             let numeric = fleet.visit_time(x, f + 1).unwrap();
-            assert!(
-                approx_eq(exact, numeric, 1e-6),
-                "n = {n}: closed {exact} vs fleet {numeric}"
-            );
+            assert!(approx_eq(exact, numeric, 1e-6), "n = {n}: closed {exact} vs fleet {numeric}");
         }
     }
 }

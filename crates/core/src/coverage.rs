@@ -39,10 +39,8 @@ impl Fleet {
     ///
     /// Propagates materialization failures and empty-fleet errors.
     pub fn from_plans(plans: &[Box<dyn TrajectoryPlan>], horizon: f64) -> Result<Self> {
-        let trajectories = plans
-            .iter()
-            .map(|p| p.materialize(horizon))
-            .collect::<Result<Vec<_>>>()?;
+        let trajectories =
+            plans.iter().map(|p| p.materialize(horizon)).collect::<Result<Vec<_>>>()?;
         Fleet::new(trajectories)
     }
 
@@ -147,10 +145,7 @@ impl Fleet {
     /// 4) exactly when this count is at least `f + 1`.
     #[must_use]
     pub fn visitors_by(&self, x: f64, t: f64) -> usize {
-        self.trajectories
-            .iter()
-            .filter(|traj| traj.first_visit(x).is_some_and(|v| v <= t))
-            .count()
+        self.trajectories.iter().filter(|traj| traj.first_visit(x).is_some_and(|v| v <= t)).count()
     }
 
     /// Rasterizes the visit-count field over a space–time grid: cell
@@ -169,10 +164,8 @@ impl Fleet {
         let mut counts = Vec::with_capacity(xs.len());
         for &x in xs {
             let visits = self.first_visits(x);
-            let column: Vec<usize> = ts
-                .iter()
-                .map(|&t| visits.partition_point(|&v| v <= t))
-                .collect();
+            let column: Vec<usize> =
+                ts.iter().map(|&t| visits.partition_point(|&v| v <= t)).collect();
             counts.push(column);
         }
         Ok(CoverageRaster { xs: xs.to_vec(), ts: ts.to_vec(), counts })
@@ -189,10 +182,7 @@ impl Fleet {
         if targets.is_empty() {
             return Err(Error::domain("tower profile needs at least one target"));
         }
-        Ok(targets
-            .iter()
-            .map(|&x| TowerSample { x, covered_at: self.visit_time(x, k) })
-            .collect())
+        Ok(targets.iter().map(|&x| TowerSample { x, covered_at: self.visit_time(x, k) }).collect())
     }
 }
 
@@ -311,10 +301,8 @@ mod tests {
     use crate::trajectory::TrajectoryBuilder;
 
     fn two_rays() -> Fleet {
-        let plans: Vec<Box<dyn TrajectoryPlan>> = vec![
-            Box::new(RayPlan::new(Direction::Right)),
-            Box::new(RayPlan::new(Direction::Left)),
-        ];
+        let plans: Vec<Box<dyn TrajectoryPlan>> =
+            vec![Box::new(RayPlan::new(Direction::Right)), Box::new(RayPlan::new(Direction::Left))];
         Fleet::from_plans(&plans, 100.0).unwrap()
     }
 
@@ -370,8 +358,7 @@ mod tests {
             let beta = (4 * f + 4) as f64 / n as f64 - 1.0;
             let s = ProportionalSchedule::new(n, beta).unwrap();
             let horizon = s.required_horizon(f + 1, 4.0);
-            let trajs: Vec<_> =
-                s.plans().iter().map(|p| p.materialize(horizon).unwrap()).collect();
+            let trajs: Vec<_> = s.plans().iter().map(|p| p.materialize(horizon).unwrap()).collect();
             let fleet = Fleet::new(trajs).unwrap();
             let x = 1.0 + 1e-9;
             let measured = fleet.visit_time(x, f + 1).unwrap();
@@ -388,10 +375,8 @@ mod tests {
         // Lemma 3: K is decreasing on intervals free of turning points.
         let s = ProportionalSchedule::new(3, 5.0 / 3.0).unwrap();
         let horizon = s.required_horizon(2, 10.0);
-        let fleet = Fleet::new(
-            s.plans().iter().map(|p| p.materialize(horizon).unwrap()).collect(),
-        )
-        .unwrap();
+        let fleet = Fleet::new(s.plans().iter().map(|p| p.materialize(horizon).unwrap()).collect())
+            .unwrap();
         let tau0 = 1.0;
         let tau1 = s.turning_position(1);
         let xs = crate::numeric::linspace(tau0 * 1.001, tau1 * 0.999, 50);
@@ -424,20 +409,14 @@ mod tests {
     fn coverage_raster_matches_pointwise_queries() {
         let s = ProportionalSchedule::new(3, 5.0 / 3.0).unwrap();
         let horizon = s.required_horizon(2, 6.0);
-        let fleet = Fleet::new(
-            s.plans().iter().map(|p| p.materialize(horizon).unwrap()).collect(),
-        )
-        .unwrap();
+        let fleet = Fleet::new(s.plans().iter().map(|p| p.materialize(horizon).unwrap()).collect())
+            .unwrap();
         let xs = crate::numeric::linspace(-5.0, 5.0, 21);
         let ts = crate::numeric::linspace(0.0, horizon.min(40.0), 17);
         let raster = fleet.coverage_raster(&xs, &ts).unwrap();
         for (i, &x) in xs.iter().enumerate() {
             for (j, &t) in ts.iter().enumerate() {
-                assert_eq!(
-                    raster.count(i, j),
-                    fleet.visitors_by(x, t),
-                    "cell ({x}, {t})"
-                );
+                assert_eq!(raster.count(i, j), fleet.visitors_by(x, t), "cell ({x}, {t})");
             }
         }
         // The rendered tower uses '#' for 2-coverage.
@@ -454,10 +433,8 @@ mod tests {
         // analytic T_2 at that position.
         let s = ProportionalSchedule::new(3, 5.0 / 3.0).unwrap();
         let horizon = s.required_horizon(2, 4.0);
-        let fleet = Fleet::new(
-            s.plans().iter().map(|p| p.materialize(horizon).unwrap()).collect(),
-        )
-        .unwrap();
+        let fleet = Fleet::new(s.plans().iter().map(|p| p.materialize(horizon).unwrap()).collect())
+            .unwrap();
         let x = 2.0;
         let ts = crate::numeric::linspace(0.0, horizon, 4001);
         let raster = fleet.coverage_raster(&[x], &ts).unwrap();

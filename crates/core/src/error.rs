@@ -48,6 +48,17 @@ pub enum Error {
         /// Description of the domain violation.
         what: String,
     },
+    /// A quantity that must be a finite number was NaN or infinite
+    /// (a coordinate, a time, a probability, a degradation factor).
+    /// Kept separate from [`Error::Domain`] so callers can distinguish
+    /// "out of range" from "not a number at all" — the latter usually
+    /// indicates corrupted input (e.g. a hand-edited trace file).
+    NonFinite {
+        /// Name of the offending quantity.
+        what: String,
+        /// The rejected value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -62,6 +73,9 @@ impl fmt::Display for Error {
             Error::Numerical { what } => write!(fmt, "numerical failure: {what}"),
             Error::InvalidTrajectory { reason } => write!(fmt, "invalid trajectory: {reason}"),
             Error::Domain { what } => write!(fmt, "domain error: {what}"),
+            Error::NonFinite { what, value } => {
+                write!(fmt, "non-finite value: {what} = {value}")
+            }
         }
     }
 }
@@ -87,6 +101,25 @@ impl Error {
     /// Builds an [`Error::Domain`] with the given description.
     pub fn domain(what: impl Into<String>) -> Self {
         Error::Domain { what: what.into() }
+    }
+
+    /// Builds an [`Error::NonFinite`] for the named quantity.
+    pub fn non_finite(what: impl Into<String>, value: f64) -> Self {
+        Error::NonFinite { what: what.into(), value }
+    }
+
+    /// Checks that `value` is finite, reporting [`Error::NonFinite`]
+    /// for the named quantity otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NonFinite`] when `value` is NaN or infinite.
+    pub fn ensure_finite(what: &str, value: f64) -> Result<f64> {
+        if value.is_finite() {
+            Ok(value)
+        } else {
+            Err(Error::non_finite(what, value))
+        }
     }
 }
 
@@ -120,5 +153,15 @@ mod tests {
         assert!(matches!(Error::numerical("x"), Error::Numerical { .. }));
         assert!(matches!(Error::trajectory("x"), Error::InvalidTrajectory { .. }));
         assert!(matches!(Error::domain("x"), Error::Domain { .. }));
+        assert!(matches!(Error::non_finite("x", f64::NAN), Error::NonFinite { .. }));
+    }
+
+    #[test]
+    fn ensure_finite_passes_numbers_and_rejects_nan() {
+        assert_eq!(Error::ensure_finite("t", 2.5).unwrap(), 2.5);
+        assert!(Error::ensure_finite("t", f64::NAN).is_err());
+        assert!(Error::ensure_finite("t", f64::INFINITY).is_err());
+        let err = Error::ensure_finite("latency", f64::INFINITY).unwrap_err();
+        assert!(err.to_string().contains("latency"));
     }
 }

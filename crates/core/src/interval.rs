@@ -124,12 +124,8 @@ impl Interval {
     /// Interval multiplication (outward rounded).
     #[must_use]
     pub fn mul(&self, other: Interval) -> Interval {
-        let products = [
-            self.lo * other.lo,
-            self.lo * other.hi,
-            self.hi * other.lo,
-            self.hi * other.hi,
-        ];
+        let products =
+            [self.lo * other.lo, self.lo * other.hi, self.hi * other.lo, self.hi * other.hi];
         let lo = products.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = products.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         Interval::outward(lo, hi)
@@ -154,12 +150,8 @@ impl Interval {
                 other.lo, other.hi
             )));
         }
-        let quotients = [
-            self.lo / other.lo,
-            self.lo / other.hi,
-            self.hi / other.lo,
-            self.hi / other.hi,
-        ];
+        let quotients =
+            [self.lo / other.lo, self.lo / other.hi, self.hi / other.lo, self.hi / other.hi];
         let lo = quotients.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = quotients.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         Ok(Interval::outward(lo, hi))
@@ -299,11 +291,8 @@ mod tests {
         // (8/3)^(4/3) * (2/3)^(-1/3) + 1 = CR of A(3, 1) ~ 5.2331.
         let b = Interval::around(8.0 / 3.0).unwrap();
         let c = Interval::around(2.0 / 3.0).unwrap();
-        let cr = b
-            .pow_scalar(4.0 / 3.0)
-            .unwrap()
-            .mul(c.pow_scalar(-1.0 / 3.0).unwrap())
-            .add_scalar(1.0);
+        let cr =
+            b.pow_scalar(4.0 / 3.0).unwrap().mul(c.pow_scalar(-1.0 / 3.0).unwrap()).add_scalar(1.0);
         assert!(cr.contains(5.233_069_471_915_2), "{cr}");
         assert!(cr.width() < 1e-10, "{cr}");
     }

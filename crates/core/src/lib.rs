@@ -66,6 +66,7 @@ pub mod error;
 pub mod interval;
 pub mod lower_bound;
 pub mod numeric;
+pub mod parallel;
 pub mod params;
 pub mod plan;
 pub mod ratio;
@@ -84,6 +85,7 @@ pub use cone::Cone;
 pub use coverage::Fleet;
 pub use error::{Error, Result};
 pub use interval::Interval;
+pub use parallel::par_map;
 pub use params::{Params, Regime};
 pub use plan::{Direction, IdlePlan, RayPlan, TrajectoryPlan, WaypointCyclePlan};
 pub use schedule::ProportionalSchedule;

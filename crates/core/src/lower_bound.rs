@@ -128,11 +128,10 @@ pub fn classify(traj: &PiecewiseTrajectory, x: f64) -> Result<Option<TrajectoryC
         return Err(Error::domain(format!("classification requires x > 1, got {x}")));
     }
     let first = |p: f64| traj.first_visit(p);
-    let (v_pos1, v_posx, v_neg1, v_negx) =
-        match (first(1.0), first(x), first(-1.0), first(-x)) {
-            (Some(a), Some(b), Some(c), Some(d)) => (a, b, c, d),
-            _ => return Ok(None),
-        };
+    let (v_pos1, v_posx, v_neg1, v_negx) = match (first(1.0), first(x), first(-1.0), first(-x)) {
+        (Some(a), Some(b), Some(c), Some(d)) => (a, b, c, d),
+        _ => return Ok(None),
+    };
     if v_pos1 <= v_posx && v_posx <= v_neg1 && v_neg1 <= v_negx {
         Ok(Some(TrajectoryClass::Positive))
     } else if v_neg1 <= v_negx && v_negx <= v_pos1 && v_pos1 <= v_posx {
@@ -213,8 +212,7 @@ pub fn adversarial_ratio(
     }
     let mut best = AdversaryOutcome { placement: 1.0, ratio: 0.0, visit_time: Some(0.0) };
     for &x in &placements {
-        let mut visits: Vec<f64> =
-            trajectories.iter().filter_map(|t| t.first_visit(x)).collect();
+        let mut visits: Vec<f64> = trajectories.iter().filter_map(|t| t.first_visit(x)).collect();
         visits.sort_by(f64::total_cmp);
         match visits.get(f) {
             Some(&t) => {
@@ -317,10 +315,7 @@ mod tests {
                 let params = Params::new(n, f).unwrap();
                 let lb = lower_bound(params).unwrap();
                 let ub = crate::ratio::cr_upper(params);
-                assert!(
-                    lb <= ub + 1e-9,
-                    "(n = {n}, f = {f}): lower {lb} > upper {ub}"
-                );
+                assert!(lb <= ub + 1e-9, "(n = {n}, f = {f}): lower {lb} > upper {ub}");
             }
         }
     }

@@ -45,9 +45,7 @@ pub fn linspace(lo: f64, hi: f64, k: usize) -> Vec<f64> {
         1 => vec![lo],
         _ => {
             let step = (hi - lo) / (k - 1) as f64;
-            (0..k)
-                .map(|i| if i + 1 == k { hi } else { lo + step * i as f64 })
-                .collect()
+            (0..k).map(|i| if i + 1 == k { hi } else { lo + step * i as f64 }).collect()
         }
     }
 }
@@ -84,13 +82,7 @@ pub fn logspace(lo: f64, hi: f64, k: usize) -> Result<Vec<f64>> {
 /// assert!((root - std::f64::consts::SQRT_2).abs() < 1e-12);
 /// # Ok::<(), faultline_core::Error>(())
 /// ```
-pub fn bisect(
-    f: impl Fn(f64) -> f64,
-    lo: f64,
-    hi: f64,
-    tol: f64,
-    max_iter: usize,
-) -> Result<f64> {
+pub fn bisect(f: impl Fn(f64) -> f64, lo: f64, hi: f64, tol: f64, max_iter: usize) -> Result<f64> {
     if !(lo < hi) {
         return Err(Error::numerical(format!("bisect: invalid bracket [{lo}, {hi}]")));
     }
@@ -196,12 +188,7 @@ pub fn golden_min(
 /// assert!((integral - 1.0 / 3.0).abs() < 1e-12);
 /// # Ok::<(), faultline_core::Error>(())
 /// ```
-pub fn integrate_simpson(
-    f: impl Fn(f64) -> f64,
-    a: f64,
-    b: f64,
-    panels: usize,
-) -> Result<f64> {
+pub fn integrate_simpson(f: impl Fn(f64) -> f64, a: f64, b: f64, panels: usize) -> Result<f64> {
     if !(a < b) || !a.is_finite() || !b.is_finite() {
         return Err(Error::numerical(format!("integrate: invalid range [{a}, {b}]")));
     }
@@ -258,11 +245,8 @@ pub fn newton_bracketed(
             return Ok(x);
         }
         let dfx = df(x);
-        let next = if dfx.abs() > f64::MIN_POSITIVE && dfx.is_finite() {
-            x - fx / dfx
-        } else {
-            f64::NAN
-        };
+        let next =
+            if dfx.abs() > f64::MIN_POSITIVE && dfx.is_finite() { x - fx / dfx } else { f64::NAN };
         if next.is_finite() && next > lo && next < hi {
             if (next - x).abs() <= tol * x.abs().max(1.0) {
                 return Ok(next);

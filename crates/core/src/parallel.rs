@@ -1,0 +1,69 @@
+//! Parallel map built on crossbeam scoped threads.
+//!
+//! Lives in `faultline-core` so every downstream crate (the simulator's
+//! fault-space explorer, the analysis sweeps) can share one
+//! implementation without `faultline-sim` depending on
+//! `faultline-analysis`.
+
+use crossbeam::thread;
+
+/// Maps `f` over `items` in parallel, preserving order.
+///
+/// Work is split into one contiguous chunk per available core; the
+/// closure must be `Sync` because it is shared across threads. Panics
+/// in worker threads are propagated.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let chunk = items.len().div_ceil(workers);
+    thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|slice| scope.spawn(|_| slice.iter().map(&f).collect::<Vec<R>>()))
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("worker thread panicked")).collect()
+    })
+    .expect("crossbeam scope failed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let doubled = par_map(&items, |&x| x * 2);
+        assert_eq!(doubled.len(), 1000);
+        for (i, v) in doubled.iter().enumerate() {
+            assert_eq!(*v, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn handles_empty_input() {
+        let out: Vec<u8> = par_map(&Vec::<u8>::new(), |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn handles_fewer_items_than_cores() {
+        let out = par_map(&[1, 2], |&x| x + 1);
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn fallible_mapping_collects_results() {
+        let items = [1.0f64, 2.0, 3.0];
+        let out: Vec<Result<f64, String>> =
+            par_map(&items, |&x| if x > 2.5 { Err(format!("{x} too big")) } else { Ok(x) });
+        assert!(out[0].is_ok() && out[1].is_ok() && out[2].is_err());
+    }
+}

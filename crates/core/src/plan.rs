@@ -238,10 +238,8 @@ mod tests {
 
     #[test]
     fn plans_are_object_safe() {
-        let fleet: Vec<Box<dyn TrajectoryPlan>> = vec![
-            Box::new(RayPlan::new(Direction::Right)),
-            Box::new(IdlePlan::new()),
-        ];
+        let fleet: Vec<Box<dyn TrajectoryPlan>> =
+            vec![Box::new(RayPlan::new(Direction::Right)), Box::new(IdlePlan::new())];
         assert_eq!(fleet.len(), 2);
         assert!(fleet[0].materialize(1.0).is_ok());
     }

@@ -127,9 +127,7 @@ pub fn cr_odd_n(n: usize) -> Result<f64> {
 /// Returns [`Error::Domain`] for `a` outside `(1, 2]`.
 pub fn asymptotic_cr(a: f64) -> Result<f64> {
     if !(a > 1.0 && a <= 2.0) {
-        return Err(Error::domain(format!(
-            "asymptotic_cr requires 1 < a <= 2, got {a}"
-        )));
+        return Err(Error::domain(format!("asymptotic_cr requires 1 < a <= 2, got {a}")));
     }
     if a == 2.0 {
         return Ok(3.0);
@@ -165,9 +163,7 @@ pub fn optimal_beta_numeric(params: Params) -> Result<f64> {
             "numeric beta search is only meaningful in the proportional regime",
         ));
     }
-    let objective = |beta: f64| {
-        cr_of_beta(params, beta).unwrap_or(f64::INFINITY)
-    };
+    let objective = |beta: f64| cr_of_beta(params, beta).unwrap_or(f64::INFINITY);
     crate::numeric::golden_min(objective, 1.0 + 1e-9, 64.0, 1e-12, 500)
 }
 
@@ -208,9 +204,7 @@ pub fn max_faults(n: usize, target_cr: f64) -> Result<Option<usize>> {
         )));
     }
     // cr_upper is increasing in f for fixed n: scan downward.
-    Ok((0..n)
-        .rev()
-        .find(|&f| cr_upper(Params::new(n, f).expect("f < n")) <= target_cr))
+    Ok((0..n).rev().find(|&f| cr_upper(Params::new(n, f).expect("f < n")) <= target_cr))
 }
 
 #[cfg(test)]

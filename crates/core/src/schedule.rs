@@ -349,13 +349,11 @@ mod tests {
         // turning point of the materialized trajectory of robot j mod n.
         let s = ProportionalSchedule::new(4, 2.0).unwrap();
         let horizon = s.required_horizon(4, 30.0);
-        let trajs: Vec<_> =
-            s.plans().iter().map(|p| p.materialize(horizon).unwrap()).collect();
+        let trajs: Vec<_> = s.plans().iter().map(|p| p.materialize(horizon).unwrap()).collect();
         for (robot, pt) in s.interleaved_turning_points(9) {
             let turns = trajs[robot].turning_points();
-            let found = turns
-                .iter()
-                .any(|q| approx_eq(q.x, pt.x, 1e-9) && approx_eq(q.t, pt.t, 1e-9));
+            let found =
+                turns.iter().any(|q| approx_eq(q.x, pt.x, 1e-9) && approx_eq(q.t, pt.t, 1e-9));
             assert!(found, "tau at x = {} missing from robot {robot}", pt.x);
         }
     }
@@ -384,10 +382,7 @@ mod tests {
             let s = ProportionalSchedule::new(n, beta).unwrap();
             let e = (2 * f + 2) as f64 / n as f64;
             let direct = (beta + 1.0).powf(e) * (beta - 1.0).powf(1.0 - e) + 1.0;
-            assert!(
-                approx_eq(s.competitive_ratio(f), direct, 1e-12),
-                "n = {n}, f = {f}"
-            );
+            assert!(approx_eq(s.competitive_ratio(f), direct, 1e-12), "n = {n}, f = {f}");
         }
     }
 

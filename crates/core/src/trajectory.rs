@@ -106,10 +106,7 @@ impl PiecewiseTrajectory {
             return None;
         }
         // Binary search for the segment containing t.
-        let idx = self
-            .waypoints
-            .partition_point(|w| w.t <= t)
-            .min(self.waypoints.len() - 1);
+        let idx = self.waypoints.partition_point(|w| w.t <= t).min(self.waypoints.len() - 1);
         let seg = Segment { a: self.waypoints[idx - 1], b: self.waypoints[idx] };
         seg.position_at(t)
     }
@@ -282,11 +279,7 @@ mod tests {
 
     #[test]
     fn rejects_non_monotone_time() {
-        let pts = vec![
-            SpaceTime::origin(),
-            SpaceTime::new(1.0, 1.0),
-            SpaceTime::new(1.5, 0.5),
-        ];
+        let pts = vec![SpaceTime::origin(), SpaceTime::new(1.0, 1.0), SpaceTime::new(1.5, 0.5)];
         assert!(PiecewiseTrajectory::new(pts).is_err());
     }
 

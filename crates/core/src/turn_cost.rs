@@ -212,7 +212,8 @@ mod tests {
     #[test]
     fn cost_grows_linearly_in_c() {
         let t = doubling(12);
-        let base = TurnCost::free().detection_cost(std::slice::from_ref(&t), -5.0, 1).unwrap().unwrap();
+        let base =
+            TurnCost::free().detection_cost(std::slice::from_ref(&t), -5.0, 1).unwrap().unwrap();
         for c in [0.5, 1.0, 2.0, 10.0] {
             let model = TurnCost::new(c).unwrap();
             let d = model.detection_cost(std::slice::from_ref(&t), -5.0, 1).unwrap().unwrap();
@@ -226,8 +227,7 @@ mod tests {
         let params = Params::new(3, 1).unwrap();
         let alg = Algorithm::design(params).unwrap();
         let horizon = alg.required_horizon(10.0).unwrap();
-        let trajs: Vec<_> =
-            alg.plans().iter().map(|p| p.materialize(horizon).unwrap()).collect();
+        let trajs: Vec<_> = alg.plans().iter().map(|p| p.materialize(horizon).unwrap()).collect();
         let fleet = crate::coverage::Fleet::new(trajs.clone()).unwrap();
         let model = TurnCost::free();
         for x in [1.5, -2.5, 7.0] {
@@ -282,11 +282,7 @@ mod tests {
             let horizon = alg.required_horizon(50.0).unwrap();
             let trajs: Vec<_> =
                 alg.plans().iter().map(|p| p.materialize(horizon).unwrap()).collect();
-            TurnCost::free()
-                .detection_cost(&trajs, x, 2)
-                .unwrap()
-                .unwrap()
-                .turns
+            TurnCost::free().detection_cost(&trajs, x, 2).unwrap().unwrap().turns
         };
         assert!(count(&many_turns) > count(&few_turns));
     }

@@ -6,8 +6,8 @@ use faultline_core::lower_bound;
 use faultline_core::plan::TrajectoryPlan;
 use faultline_core::ratio;
 use faultline_core::{
-    Algorithm, BoundedAlgorithm, ClampedZigZagPlan, Cone, Params, ProportionalSchedule,
-    SpaceTime, TurnCost, ZigZagPlan,
+    Algorithm, BoundedAlgorithm, ClampedZigZagPlan, Cone, Params, ProportionalSchedule, SpaceTime,
+    TurnCost, ZigZagPlan,
 };
 use proptest::prelude::*;
 

@@ -5,8 +5,7 @@ use faultline_core::coverage::{SupremumScan, TowerSample};
 use faultline_core::lower_bound::{AdversaryOutcome, TrajectoryClass};
 use faultline_core::turn_cost::DetectionCost;
 use faultline_core::{
-    Cone, Params, PiecewiseTrajectory, ProportionalSchedule, Regime, SpaceTime,
-    TrajectoryBuilder,
+    Cone, Params, PiecewiseTrajectory, ProportionalSchedule, Regime, SpaceTime, TrajectoryBuilder,
 };
 
 fn roundtrip<T>(value: &T) -> T

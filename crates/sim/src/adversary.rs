@@ -8,7 +8,7 @@
 use faultline_core::{Error, PiecewiseTrajectory, Result, TrajectoryPlan};
 
 use crate::engine::{SimConfig, Simulation};
-use crate::fault::FaultMask;
+use crate::fault::{check_adversary_budget, FaultMask};
 use crate::outcome::SearchOutcome;
 use crate::target::Target;
 
@@ -26,13 +26,7 @@ pub fn worst_case_mask(
     target: Target,
     f: usize,
 ) -> Result<FaultMask> {
-    if f >= trajectories.len() {
-        return Err(Error::invalid_params(
-            trajectories.len(),
-            f,
-            "the adversary may corrupt at most n - 1 robots",
-        ));
-    }
+    check_adversary_budget(trajectories.len(), f)?;
     let mut arrivals: Vec<(usize, f64)> = trajectories
         .iter()
         .enumerate()
@@ -184,8 +178,7 @@ mod tests {
     fn empirical_cr_of_two_group_is_one() {
         let alg = Algorithm::design(Params::new(4, 1).unwrap()).unwrap();
         let plans = alg.plans();
-        let result =
-            empirical_competitive_ratio(&plans, 1, &[1.0, -2.0, 5.0, -9.5], 20.0).unwrap();
+        let result = empirical_competitive_ratio(&plans, 1, &[1.0, -2.0, 5.0, -9.5], 20.0).unwrap();
         assert!((result.ratio - 1.0).abs() < 1e-12);
         assert_eq!(result.undetected, 0);
     }

@@ -88,7 +88,11 @@ impl CrashPlan {
             return Err(Error::invalid_params(
                 trajectories.len(),
                 self.crash_count(),
-                format!("crash plan covers {} robots, fleet has {}", self.times.len(), trajectories.len()),
+                format!(
+                    "crash plan covers {} robots, fleet has {}",
+                    self.times.len(),
+                    trajectories.len()
+                ),
             ));
         }
         trajectories
@@ -139,13 +143,7 @@ pub fn worst_case_crashes(
     target: f64,
     f: usize,
 ) -> Result<(CrashPlan, Option<f64>)> {
-    if f >= trajectories.len() {
-        return Err(Error::invalid_params(
-            trajectories.len(),
-            f,
-            "the crash adversary may stop at most n - 1 robots",
-        ));
-    }
+    crate::fault::check_adversary_budget(trajectories.len(), f)?;
     let mut arrivals: Vec<(usize, f64)> = trajectories
         .iter()
         .enumerate()
@@ -206,7 +204,8 @@ mod tests {
     #[test]
     fn crash_past_horizon_is_harmless() {
         let t = TrajectoryBuilder::from_origin().sweep_to(4.0).finish().unwrap();
-        let out = CrashPlan::new(vec![Some(100.0)]).unwrap().apply(std::slice::from_ref(&t)).unwrap();
+        let out =
+            CrashPlan::new(vec![Some(100.0)]).unwrap().apply(std::slice::from_ref(&t)).unwrap();
         assert_eq!(out[0], t);
     }
 
@@ -224,8 +223,7 @@ mod tests {
         let params = Params::new(3, 1).unwrap();
         let alg = Algorithm::design(params).unwrap();
         let horizon = alg.required_horizon(9.0).unwrap();
-        let trajs: Vec<_> =
-            alg.plans().iter().map(|p| p.materialize(horizon).unwrap()).collect();
+        let trajs: Vec<_> = alg.plans().iter().map(|p| p.materialize(horizon).unwrap()).collect();
         let fleet = faultline_core::Fleet::new(trajs.clone()).unwrap();
         for x in [2.0, -5.0, 8.0] {
             let (plan, detection) = worst_case_crashes(&trajs, x, 1).unwrap();

@@ -1,19 +1,29 @@
 //! The discrete-event simulation engine.
 //!
 //! The engine takes materialized trajectories, a target, and a fault
-//! mask; it derives the discrete events of the run (turning points,
-//! target visits), processes them in time order, and reports the search
-//! outcome. Detection follows the paper's rule: the search succeeds the
-//! moment the first **reliable** robot stands on the target.
+//! assignment; it derives the discrete events of the run (turning
+//! points, target visits, sensor reports), processes them in time
+//! order, and reports the search outcome. Detection follows the paper's
+//! rule: the search succeeds the moment the first working sensor
+//! reports the target.
+//!
+//! Faults are injected at construction: each robot's trajectory is
+//! compiled into an *effective visit schedule* — the times it
+//! physically stands on the target, and for each such visit whether
+//! (and when) its sensor report arrives. The paper's permanent sensor
+//! fault drops every report; the extended taxonomy
+//! ([`crate::fault::FaultKind`]) can drop individual visits
+//! (intermittent), postpone reports (delayed), or dilate the whole
+//! schedule (speed-degraded). The event loop itself is fault-agnostic.
 
 use std::collections::HashSet;
 
 use faultline_core::{Error, PiecewiseTrajectory, Result};
 
 use crate::event::{Event, EventKind, EventQueue};
-use crate::fault::FaultMask;
+use crate::fault::{FaultKind, FaultMask, FaultPlan};
 use crate::outcome::{Detection, SearchOutcome, Visit};
-use crate::robot::{Robot, RobotId};
+use crate::robot::RobotId;
 use crate::target::Target;
 
 /// Configuration of a simulation run.
@@ -33,10 +43,47 @@ impl Default for SimConfig {
     }
 }
 
+/// A robot's sensor state at one physical visit to the target.
+#[derive(Debug, Clone, Copy)]
+struct ScheduledVisit {
+    /// Time at which the robot stands on the target.
+    time: f64,
+    /// When the sensor's report arrives, or `None` if this visit goes
+    /// unreported (faulty sensor, intermittent miss, or a delayed
+    /// report lost past the horizon).
+    report: Option<f64>,
+}
+
+/// A robot compiled for simulation: effective turning points and visit
+/// schedule, with all fault effects already applied.
+#[derive(Debug)]
+struct SimRobot {
+    id: RobotId,
+    /// Effective turning points `(t, x)`, within the horizon.
+    turns: Vec<(f64, f64)>,
+    /// Effective visits to the target, in time order.
+    visits: Vec<ScheduledVisit>,
+}
+
+/// Deterministic coin in `[0, 1)` for intermittent-sensor decisions,
+/// keyed by `(seed, robot, visit index)` so identical runs replay
+/// bit-for-bit without threading an RNG through the engine.
+/// (splitmix64 finalizer over the xor-combined key.)
+fn fault_coin(seed: u64, robot: usize, visit: usize) -> f64 {
+    let mut z = seed
+        ^ (robot as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (visit as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    ((z >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+}
+
 /// A fully configured simulation, ready to [`run`](Simulation::run).
 #[derive(Debug)]
 pub struct Simulation {
-    robots: Vec<Robot>,
+    robots: Vec<SimRobot>,
     target: Target,
     config: SimConfig,
     horizon: f64,
@@ -44,22 +91,20 @@ pub struct Simulation {
 
 impl Simulation {
     /// Builds a simulation from materialized trajectories, a target and
-    /// a fault mask.
+    /// a fault mask (the paper's permanent sensor faults).
     ///
     /// # Errors
     ///
     /// Returns [`Error::InvalidParameters`] when the fleet is empty or
-    /// the mask length does not match the fleet size.
+    /// the mask length does not match the fleet size, and propagates
+    /// the horizon guards of [`Simulation::with_faults`].
     pub fn new(
         trajectories: Vec<PiecewiseTrajectory>,
         target: Target,
         mask: &FaultMask,
         config: SimConfig,
     ) -> Result<Self> {
-        if trajectories.is_empty() {
-            return Err(Error::invalid_params(0, 0, "simulation needs at least one robot"));
-        }
-        if mask.len() != trajectories.len() {
+        if !trajectories.is_empty() && mask.len() != trajectories.len() {
             return Err(Error::invalid_params(
                 trajectories.len(),
                 mask.fault_count(),
@@ -70,16 +115,98 @@ impl Simulation {
                 ),
             ));
         }
+        // Sensor faults ignore the seed: no randomness is involved.
+        Simulation::with_faults(trajectories, target, &FaultPlan::from_mask(mask), 0, config)
+    }
+
+    /// Builds a simulation injecting the extended fault taxonomy.
+    ///
+    /// `seed` drives the per-visit coins of intermittent sensors (and
+    /// nothing else); two simulations built from identical inputs
+    /// produce bit-for-bit identical outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameters`] when the fleet is empty or
+    /// the plan length does not match the fleet size;
+    /// [`Error::NonFinite`] when the fleet horizon is not a number; and
+    /// [`Error::Domain`] when the horizon is not strictly positive
+    /// (a zero-length search cannot visit anything).
+    pub fn with_faults(
+        trajectories: Vec<PiecewiseTrajectory>,
+        target: Target,
+        plan: &FaultPlan,
+        seed: u64,
+        config: SimConfig,
+    ) -> Result<Self> {
+        if trajectories.is_empty() {
+            return Err(Error::invalid_params(0, 0, "simulation needs at least one robot"));
+        }
+        if plan.len() != trajectories.len() {
+            return Err(Error::invalid_params(
+                trajectories.len(),
+                plan.fault_count(),
+                format!(
+                    "fault plan covers {} robots but the fleet has {}",
+                    plan.len(),
+                    trajectories.len()
+                ),
+            ));
+        }
+        // A speed-degraded robot traverses the same path at `factor`
+        // times unit speed, so all its times dilate by `1 / factor` —
+        // including its own horizon.
+        let time_scale = |kind: FaultKind| match kind {
+            FaultKind::SpeedDegraded { factor } => 1.0 / factor,
+            _ => 1.0,
+        };
         let horizon = trajectories
             .iter()
-            .map(PiecewiseTrajectory::horizon)
+            .enumerate()
+            .map(|(i, t)| t.horizon() * time_scale(plan.kind(RobotId(i))))
             .fold(f64::INFINITY, f64::min);
+        let horizon = Error::ensure_finite("fleet horizon", horizon)?;
+        if !(horizon > 0.0) {
+            return Err(Error::domain(format!(
+                "fleet horizon must be strictly positive, got {horizon}"
+            )));
+        }
+        let x = target.position();
         let robots = trajectories
             .into_iter()
             .enumerate()
             .map(|(i, traj)| {
                 let id = RobotId(i);
-                Robot::new(id, mask.reliability(id), traj)
+                let kind = plan.kind(id);
+                let scale = time_scale(kind);
+                let turns = traj
+                    .turning_points()
+                    .into_iter()
+                    .map(|p| (p.t * scale, p.x))
+                    .filter(|&(t, _)| t <= horizon)
+                    .collect();
+                let visits = traj
+                    .visits(x)
+                    .into_iter()
+                    .enumerate()
+                    .map(|(k, t)| (k, t * scale))
+                    .filter(|&(_, t)| t <= horizon)
+                    .map(|(k, t)| {
+                        let report = match kind {
+                            FaultKind::Sensor => None,
+                            FaultKind::Intermittent { miss_probability } => {
+                                (fault_coin(seed, i, k) >= miss_probability).then_some(t)
+                            }
+                            FaultKind::Delayed { latency } => {
+                                let arrival = t + latency;
+                                (arrival <= horizon).then_some(arrival)
+                            }
+                            FaultKind::Reliable | FaultKind::SpeedDegraded { .. } => Some(t),
+                        };
+                        ScheduledVisit { time: t, report }
+                    })
+                    .collect();
+                SimRobot { id, turns, visits }
             })
             .collect();
         Ok(Simulation { robots, target, config, horizon })
@@ -102,22 +229,25 @@ impl Simulation {
     #[must_use]
     pub fn run(self) -> SearchOutcome {
         let mut queue = EventQueue::new();
-        let x = self.target.position();
 
         for robot in &self.robots {
-            for p in robot.trajectory().turning_points() {
-                if p.t <= self.horizon {
-                    queue.push(Event {
-                        time: p.t,
-                        kind: EventKind::Turned { robot: robot.id(), x: p.x },
-                    });
-                }
+            for &(t, x) in &robot.turns {
+                queue.push(Event { time: t, kind: EventKind::Turned { robot: robot.id, x } });
             }
-            for t in robot.trajectory().visits(x) {
-                if t <= self.horizon {
+            // Each visit's report (if any) is scheduled right after the
+            // physical visit so that, at equal times, the FIFO queue
+            // keeps them adjacent: the visit is recorded, then the
+            // report fires detection — matching the paper's "detect the
+            // instant a working robot stands on the target".
+            for visit in &robot.visits {
+                queue.push(Event {
+                    time: visit.time,
+                    kind: EventKind::TargetVisited { robot: robot.id },
+                });
+                if let Some(report) = visit.report {
                     queue.push(Event {
-                        time: t,
-                        kind: EventKind::TargetVisited { robot: robot.id() },
+                        time: report,
+                        kind: EventKind::Registered { robot: robot.id },
                     });
                 }
             }
@@ -138,9 +268,14 @@ impl Simulation {
                     if !seen.insert(robot) {
                         continue; // only the first visit per robot counts
                     }
-                    let reliable = self.robots[robot.0].is_reliable();
+                    // The first visit of `robot` is the first entry of
+                    // its schedule; its flag records whether the sensor
+                    // reported that visit.
+                    let reliable = self.robots[robot.0].visits[0].report.is_some();
                     visits.push(Visit { robot, time: event.time, reliable });
-                    if reliable && detection.is_none() {
+                }
+                EventKind::Registered { robot } => {
+                    if detection.is_none() {
                         detection = Some(Detection { robot, time: event.time });
                         if self.config.record_trace {
                             trace.push(Event {
@@ -191,9 +326,7 @@ mod tests {
     ) -> SearchOutcome {
         let n = trajectories.len();
         let mask = FaultMask::from_indices(n, faulty).unwrap();
-        Simulation::new(trajectories, Target::new(target).unwrap(), &mask, config)
-            .unwrap()
-            .run()
+        Simulation::new(trajectories, Target::new(target).unwrap(), &mask, config).unwrap().run()
     }
 
     #[test]
@@ -220,11 +353,7 @@ mod tests {
         // Robot 0 (faulty) arrives at t = 3; robot 1 (reliable) dawdles
         // and arrives at t = 7. Both trajectories extend past t = 7 so
         // the common (minimum) horizon covers the late visit.
-        let slow = TrajectoryBuilder::from_origin()
-            .sweep_to(-2.0)
-            .sweep_to(4.0)
-            .finish()
-            .unwrap();
+        let slow = TrajectoryBuilder::from_origin().sweep_to(-2.0).sweep_to(4.0).finish().unwrap();
         let outcome = sim(vec![straight(9.0), slow], 3.0, &[0], SimConfig::default());
         let d = outcome.detection.unwrap();
         assert_eq!(d.robot, RobotId(1));
@@ -234,12 +363,7 @@ mod tests {
 
     #[test]
     fn stop_at_detection_truncates_visits() {
-        let outcome = sim(
-            vec![straight(5.0), straight(5.0)],
-            2.0,
-            &[],
-            SimConfig::default(),
-        );
+        let outcome = sim(vec![straight(5.0), straight(5.0)], 2.0, &[], SimConfig::default());
         // Both robots arrive simultaneously but the run stops at the
         // first reliable visit.
         assert_eq!(outcome.distinct_visitors(), 1);
@@ -254,11 +378,8 @@ mod tests {
 
     #[test]
     fn trace_records_turning_and_detection_events() {
-        let zigzag = TrajectoryBuilder::from_origin()
-            .sweep_to(2.0)
-            .sweep_to(-4.0)
-            .finish()
-            .unwrap();
+        let zigzag =
+            TrajectoryBuilder::from_origin().sweep_to(2.0).sweep_to(-4.0).finish().unwrap();
         let cfg = SimConfig { record_trace: true, stop_at_detection: true };
         let outcome = sim(vec![zigzag], -1.0, &[], cfg);
         let trace = outcome.trace.as_ref().unwrap();
@@ -310,5 +431,159 @@ mod tests {
         .unwrap();
         assert_eq!(s.horizon(), 2.0);
         assert_eq!(s.robot_count(), 2);
+    }
+
+    fn faulted(
+        trajectories: Vec<PiecewiseTrajectory>,
+        target: f64,
+        kinds: Vec<FaultKind>,
+        seed: u64,
+    ) -> SearchOutcome {
+        let plan = FaultPlan::new(kinds).unwrap();
+        Simulation::with_faults(
+            trajectories,
+            Target::new(target).unwrap(),
+            &plan,
+            seed,
+            SimConfig::default(),
+        )
+        .unwrap()
+        .run()
+    }
+
+    #[test]
+    fn sensor_plan_matches_mask_semantics() {
+        let masked = sim(vec![straight(9.0), straight(9.0)], 3.0, &[0], SimConfig::default());
+        let planned = faulted(
+            vec![straight(9.0), straight(9.0)],
+            3.0,
+            vec![FaultKind::Sensor, FaultKind::Reliable],
+            42,
+        );
+        assert_eq!(masked, planned);
+    }
+
+    #[test]
+    fn intermittent_with_certain_miss_never_detects() {
+        let outcome = faulted(
+            vec![straight(9.0)],
+            3.0,
+            vec![FaultKind::Intermittent { miss_probability: 1.0 }],
+            7,
+        );
+        assert!(!outcome.detected());
+        assert!(!outcome.visits[0].reliable);
+    }
+
+    #[test]
+    fn intermittent_with_zero_miss_behaves_reliably() {
+        let outcome = faulted(
+            vec![straight(9.0)],
+            3.0,
+            vec![FaultKind::Intermittent { miss_probability: 0.0 }],
+            7,
+        );
+        assert_eq!(outcome.detection.unwrap().time, 3.0);
+    }
+
+    #[test]
+    fn intermittent_can_catch_a_later_visit() {
+        // The robot crosses +1 at t = 1, 3.5 and 5. Find a seed whose
+        // coin misses the first visit but registers a later one: the
+        // detection then happens at a *revisit*, which the binary
+        // sensor model can never produce.
+        let weave = TrajectoryBuilder::from_origin()
+            .sweep_to(2.0)
+            .sweep_to(0.5)
+            .sweep_to(3.0)
+            .finish()
+            .unwrap();
+        let kinds = vec![FaultKind::Intermittent { miss_probability: 0.5 }];
+        let later = (0..1000u64)
+            .map(|seed| faulted(vec![weave.clone()], 1.0, kinds.clone(), seed))
+            .find(|o| o.detection.is_some_and(|d| d.time > 1.0))
+            .expect("some seed should miss the first visit and catch a revisit");
+        assert!(!later.visits[0].reliable, "first visit went unregistered");
+        assert!(later.detected());
+    }
+
+    #[test]
+    fn intermittent_is_deterministic_in_the_seed() {
+        let kinds = vec![FaultKind::Intermittent { miss_probability: 0.5 }; 3];
+        let run = |seed| {
+            faulted(vec![straight(9.0), straight(9.0), straight(9.0)], 3.0, kinds.clone(), seed)
+        };
+        assert_eq!(run(5), run(5));
+        // ... and some seed differs from seed 5, so the coin is real.
+        assert!((0..100).any(|s| run(s) != run(5)));
+    }
+
+    #[test]
+    fn delayed_report_postpones_detection() {
+        let outcome =
+            faulted(vec![straight(9.0)], 3.0, vec![FaultKind::Delayed { latency: 1.5 }], 0);
+        let d = outcome.detection.unwrap();
+        assert_eq!(d.time, 4.5);
+        // The physical visit is still recorded at arrival time.
+        assert_eq!(outcome.visits[0].time, 3.0);
+        assert!(outcome.visits[0].reliable);
+    }
+
+    #[test]
+    fn delayed_report_past_horizon_is_lost() {
+        let outcome =
+            faulted(vec![straight(5.0)], 3.0, vec![FaultKind::Delayed { latency: 10.0 }], 0);
+        assert!(!outcome.detected());
+        assert!(!outcome.visits[0].reliable, "the report never arrived");
+    }
+
+    #[test]
+    fn speed_degraded_dilates_detection_time() {
+        // At half speed the robot reaches x = 3 at t = 6; its own
+        // horizon dilates to 18, so the visit stays in range.
+        let outcome =
+            faulted(vec![straight(9.0)], 3.0, vec![FaultKind::SpeedDegraded { factor: 0.5 }], 0);
+        assert_eq!(outcome.detection.unwrap().time, 6.0);
+        assert_eq!(outcome.horizon, 18.0);
+    }
+
+    #[test]
+    fn full_speed_degradation_factor_is_identity() {
+        let a =
+            faulted(vec![straight(9.0)], 3.0, vec![FaultKind::SpeedDegraded { factor: 1.0 }], 0);
+        let b = faulted(vec![straight(9.0)], 3.0, vec![FaultKind::Reliable], 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn plan_length_mismatch_rejected() {
+        let plan = FaultPlan::all_reliable(2);
+        assert!(Simulation::with_faults(
+            vec![straight(5.0)],
+            Target::new(2.0).unwrap(),
+            &plan,
+            0,
+            SimConfig::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn non_positive_horizon_is_a_typed_error() {
+        use faultline_core::SpaceTime;
+        // A trajectory living entirely at negative times is valid for
+        // the core trajectory type but useless for search: the engine
+        // reports a Domain error instead of simulating an empty run.
+        let past =
+            PiecewiseTrajectory::new(vec![SpaceTime::new(0.0, -2.0), SpaceTime::new(0.5, -1.0)])
+                .unwrap();
+        let err = Simulation::new(
+            vec![past],
+            Target::new(2.0).unwrap(),
+            &FaultMask::all_reliable(1),
+            SimConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::Domain { .. }), "got {err:?}");
     }
 }

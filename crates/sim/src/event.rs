@@ -32,6 +32,13 @@ pub enum EventKind {
         /// The visiting robot.
         robot: RobotId,
     },
+    /// A robot's sensor report for a target visit arrived (for healthy
+    /// robots this coincides with the visit; delayed sensors report
+    /// later). The first such event is the detection.
+    Registered {
+        /// The reporting robot.
+        robot: RobotId,
+    },
     /// A **reliable** robot stood on the target: the search succeeds.
     Detected {
         /// The detecting robot.
@@ -73,11 +80,7 @@ impl Ord for QueueEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse ordering: BinaryHeap is a max-heap, we need earliest
         // first. Ties resolve FIFO (lower sequence first).
-        other
-            .event
-            .time
-            .total_cmp(&self.event.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.event.time.total_cmp(&self.event.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 

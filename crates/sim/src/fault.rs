@@ -3,12 +3,37 @@
 //! The paper's adversary chooses faults in the worst possible way; the
 //! simulator additionally supports fixed and random (Bernoulli)
 //! assignments for Monte-Carlo experiments and failure injection.
+//!
+//! Beyond the paper's binary sensor faults ([`FaultMask`]), the
+//! injection harness supports a richer taxonomy ([`FaultKind`] /
+//! [`FaultPlan`]): intermittent sensors that miss each visit with some
+//! probability, delayed detection reports, and speed-degraded robots.
+//! All of these are *weaker* than a permanent sensor fault, which is
+//! why the paper's worst-case analysis still applies to them.
 
 use faultline_core::{Error, Result};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::robot::{Reliability, RobotId};
+
+/// Validates an adversary's fault budget against the fleet size: the
+/// paper's adversary may corrupt at most `n - 1` robots, otherwise no
+/// reliable robot exists and no target is ever confirmed.
+///
+/// Shared by the sensor-fault adversary ([`crate::adversary`]) and the
+/// crash adversary ([`crate::crash`]) so both reject budgets the same
+/// way.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameters`] when `f >= n`.
+pub fn check_adversary_budget(n: usize, f: usize) -> Result<()> {
+    if f >= n {
+        return Err(Error::invalid_params(n, f, "the adversary may corrupt at most n - 1 robots"));
+    }
+    Ok(())
+}
 
 /// A concrete assignment of reliability to each of `n` robots.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -33,14 +58,18 @@ impl FaultMask {
         let mut faulty = vec![false; n];
         for &i in indices {
             if i >= n {
-                return Err(Error::invalid_params(n, indices.len(), format!(
-                    "fault index {i} out of range for {n} robots"
-                )));
+                return Err(Error::invalid_params(
+                    n,
+                    indices.len(),
+                    format!("fault index {i} out of range for {n} robots"),
+                ));
             }
             if faulty[i] {
-                return Err(Error::invalid_params(n, indices.len(), format!(
-                    "fault index {i} listed twice"
-                )));
+                return Err(Error::invalid_params(
+                    n,
+                    indices.len(),
+                    format!("fault index {i} listed twice"),
+                ));
             }
             faulty[i] = true;
         }
@@ -51,6 +80,43 @@ impl FaultMask {
     #[must_use]
     pub fn from_bools(faulty: Vec<bool>) -> Self {
         FaultMask { faulty }
+    }
+
+    /// Builds a mask from booleans, validating the length against the
+    /// intended fleet size `n`. Prefer this over [`Self::from_bools`]
+    /// whenever the fleet size is known at the call site: a mask of the
+    /// wrong length is only caught later, at simulation construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameters`] when `faulty.len() != n`.
+    pub fn from_bools_checked(n: usize, faulty: Vec<bool>) -> Result<Self> {
+        if faulty.len() != n {
+            return Err(Error::invalid_params(
+                n,
+                faulty.iter().filter(|&&b| b).count(),
+                format!("fault mask covers {} robots but the fleet has {n}", faulty.len()),
+            ));
+        }
+        Ok(FaultMask { faulty })
+    }
+
+    /// Checks that the mask stays within a fault budget of `f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameters`] when the mask marks more
+    /// than `f` robots faulty.
+    pub fn check_budget(&self, f: usize) -> Result<()> {
+        let count = self.fault_count();
+        if count > f {
+            return Err(Error::invalid_params(
+                self.len(),
+                f,
+                format!("{count} faults exceed the budget f = {f}"),
+            ));
+        }
+        Ok(())
     }
 
     /// Number of robots covered by the mask.
@@ -90,11 +156,190 @@ impl FaultMask {
     /// Indices of the faulty robots.
     #[must_use]
     pub fn faulty_indices(&self) -> Vec<usize> {
-        self.faulty
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &b)| b.then_some(i))
-            .collect()
+        self.faulty.iter().enumerate().filter_map(|(i, &b)| b.then_some(i)).collect()
+    }
+}
+
+/// How a single robot misbehaves.
+///
+/// Every kind other than [`FaultKind::Reliable`] moves exactly like a
+/// healthy robot unless stated otherwise; the taxonomy only perturbs
+/// *when* (or whether) the robot reports the target.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A healthy robot: detects the target on its first visit.
+    Reliable,
+    /// The paper's fault model: moves normally, never detects.
+    Sensor,
+    /// The sensor misses each visit independently with probability
+    /// `miss_probability`; misses are decided by a deterministic
+    /// per-(seed, robot, visit) coin so runs are replayable.
+    Intermittent {
+        /// Probability in `[0, 1]` of missing any single visit.
+        miss_probability: f64,
+    },
+    /// The sensor works but the report arrives `latency` time units
+    /// after the physical visit; reports past the horizon are lost.
+    Delayed {
+        /// Reporting latency, `>= 0` and finite.
+        latency: f64,
+    },
+    /// The robot traverses the same path at `factor` times unit speed,
+    /// so every waypoint (and visit) happens at `t / factor`.
+    SpeedDegraded {
+        /// Speed factor in `(0, 1]`.
+        factor: f64,
+    },
+}
+
+impl FaultKind {
+    /// Validates the kind's numeric parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NonFinite`] for NaN/infinite parameters and
+    /// [`Error::Domain`] for out-of-range ones.
+    pub fn validate(&self) -> Result<()> {
+        match *self {
+            FaultKind::Reliable | FaultKind::Sensor => Ok(()),
+            FaultKind::Intermittent { miss_probability } => {
+                Error::ensure_finite("miss probability", miss_probability)?;
+                if !(0.0..=1.0).contains(&miss_probability) {
+                    return Err(Error::domain(format!(
+                        "miss probability must be in [0, 1], got {miss_probability}"
+                    )));
+                }
+                Ok(())
+            }
+            FaultKind::Delayed { latency } => {
+                Error::ensure_finite("detection latency", latency)?;
+                if latency < 0.0 {
+                    return Err(Error::domain(format!(
+                        "detection latency must be >= 0, got {latency}"
+                    )));
+                }
+                Ok(())
+            }
+            FaultKind::SpeedDegraded { factor } => {
+                Error::ensure_finite("speed factor", factor)?;
+                if !(factor > 0.0) || factor > 1.0 {
+                    return Err(Error::domain(format!(
+                        "speed factor must be in (0, 1], got {factor}"
+                    )));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Whether the kind deviates from a healthy robot at all.
+    #[must_use]
+    pub fn is_faulty(&self) -> bool {
+        !matches!(self, FaultKind::Reliable)
+    }
+
+    /// Short name for reports and traces.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::Reliable => "reliable",
+            FaultKind::Sensor => "sensor",
+            FaultKind::Intermittent { .. } => "intermittent",
+            FaultKind::Delayed { .. } => "delayed",
+            FaultKind::SpeedDegraded { .. } => "speed-degraded",
+        }
+    }
+}
+
+/// A per-robot assignment of [`FaultKind`]s, validated at construction
+/// so the simulation engine never sees out-of-range parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    kinds: Vec<FaultKind>,
+}
+
+impl FaultPlan {
+    /// Builds a plan from one kind per robot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`FaultKind::validate`] failure.
+    pub fn new(kinds: Vec<FaultKind>) -> Result<Self> {
+        for kind in &kinds {
+            kind.validate()?;
+        }
+        Ok(FaultPlan { kinds })
+    }
+
+    /// All robots healthy.
+    #[must_use]
+    pub fn all_reliable(n: usize) -> Self {
+        FaultPlan { kinds: vec![FaultKind::Reliable; n] }
+    }
+
+    /// Lifts a binary sensor-fault mask into the taxonomy.
+    #[must_use]
+    pub fn from_mask(mask: &FaultMask) -> Self {
+        let kinds =
+            (0..mask.len())
+                .map(|i| {
+                    if mask.is_faulty(RobotId(i)) {
+                        FaultKind::Sensor
+                    } else {
+                        FaultKind::Reliable
+                    }
+                })
+                .collect();
+        FaultPlan { kinds }
+    }
+
+    /// Number of robots covered by the plan.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether the plan covers zero robots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// The kind assigned to robot `id` (out-of-range ids are healthy,
+    /// mirroring [`FaultMask::is_faulty`]).
+    #[must_use]
+    pub fn kind(&self, id: RobotId) -> FaultKind {
+        self.kinds.get(id.0).copied().unwrap_or(FaultKind::Reliable)
+    }
+
+    /// Number of robots with any fault.
+    #[must_use]
+    pub fn fault_count(&self) -> usize {
+        self.kinds.iter().filter(|k| k.is_faulty()).count()
+    }
+
+    /// Indices of the robots with any fault.
+    #[must_use]
+    pub fn faulty_indices(&self) -> Vec<usize> {
+        self.kinds.iter().enumerate().filter_map(|(i, k)| k.is_faulty().then_some(i)).collect()
+    }
+
+    /// Checks that the plan stays within a fault budget of `f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameters`] when more than `f` robots
+    /// carry a fault.
+    pub fn check_budget(&self, f: usize) -> Result<()> {
+        let count = self.fault_count();
+        if count > f {
+            return Err(Error::invalid_params(
+                self.len(),
+                f,
+                format!("{count} faults exceed the budget f = {f}"),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -128,8 +373,7 @@ impl FixedFaults {
 
 impl FaultModel for FixedFaults {
     fn assign(&mut self, n: usize) -> FaultMask {
-        FaultMask::from_indices(n, &self.indices)
-            .unwrap_or_else(|_| FaultMask::all_reliable(n))
+        FaultMask::from_indices(n, &self.indices).unwrap_or_else(|_| FaultMask::all_reliable(n))
     }
 
     fn name(&self) -> &'static str {
@@ -258,5 +502,70 @@ mod tests {
         let a = BernoulliFaults::new(0.5, 10, StdRng::seed_from_u64(42)).unwrap().assign(16);
         let b = BernoulliFaults::new(0.5, 10, StdRng::seed_from_u64(42)).unwrap().assign(16);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn checked_bools_validate_length() {
+        assert!(FaultMask::from_bools_checked(3, vec![true, false, false]).is_ok());
+        assert!(FaultMask::from_bools_checked(3, vec![true, false]).is_err());
+    }
+
+    #[test]
+    fn mask_budget_check() {
+        let m = FaultMask::from_indices(5, &[0, 4]).unwrap();
+        assert!(m.check_budget(2).is_ok());
+        assert!(m.check_budget(1).is_err());
+    }
+
+    #[test]
+    fn adversary_budget_rejects_f_at_least_n() {
+        assert!(check_adversary_budget(5, 4).is_ok());
+        assert!(check_adversary_budget(5, 5).is_err());
+        assert!(check_adversary_budget(0, 0).is_err());
+    }
+
+    #[test]
+    fn fault_kind_validation() {
+        assert!(FaultKind::Reliable.validate().is_ok());
+        assert!(FaultKind::Sensor.validate().is_ok());
+        assert!(FaultKind::Intermittent { miss_probability: 0.5 }.validate().is_ok());
+        assert!(FaultKind::Intermittent { miss_probability: 1.5 }.validate().is_err());
+        assert!(FaultKind::Intermittent { miss_probability: f64::NAN }.validate().is_err());
+        assert!(FaultKind::Delayed { latency: 0.0 }.validate().is_ok());
+        assert!(FaultKind::Delayed { latency: -1.0 }.validate().is_err());
+        assert!(FaultKind::Delayed { latency: f64::INFINITY }.validate().is_err());
+        assert!(FaultKind::SpeedDegraded { factor: 1.0 }.validate().is_ok());
+        assert!(FaultKind::SpeedDegraded { factor: 0.0 }.validate().is_err());
+        assert!(FaultKind::SpeedDegraded { factor: 2.0 }.validate().is_err());
+    }
+
+    #[test]
+    fn plan_construction_rejects_invalid_kinds() {
+        assert!(FaultPlan::new(vec![FaultKind::Reliable, FaultKind::Sensor]).is_ok());
+        assert!(FaultPlan::new(vec![FaultKind::SpeedDegraded { factor: -0.5 }]).is_err());
+    }
+
+    #[test]
+    fn plan_from_mask_round_trips_fault_sets() {
+        let mask = FaultMask::from_indices(4, &[1, 2]).unwrap();
+        let plan = FaultPlan::from_mask(&mask);
+        assert_eq!(plan.len(), 4);
+        assert_eq!(plan.fault_count(), 2);
+        assert_eq!(plan.faulty_indices(), vec![1, 2]);
+        assert_eq!(plan.kind(RobotId(1)), FaultKind::Sensor);
+        assert_eq!(plan.kind(RobotId(0)), FaultKind::Reliable);
+        // Out-of-range ids are healthy, like FaultMask::is_faulty.
+        assert_eq!(plan.kind(RobotId(99)), FaultKind::Reliable);
+        assert!(plan.check_budget(2).is_ok());
+        assert!(plan.check_budget(1).is_err());
+    }
+
+    #[test]
+    fn all_reliable_plan_is_fault_free() {
+        let plan = FaultPlan::all_reliable(6);
+        assert_eq!(plan.len(), 6);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.fault_count(), 0);
+        assert!(FaultPlan::all_reliable(0).is_empty());
     }
 }

@@ -56,20 +56,32 @@ pub mod adversary;
 pub mod crash;
 pub mod engine;
 pub mod event;
+pub mod explorer;
 pub mod fault;
 pub mod montecarlo;
 pub mod outcome;
 pub mod robot;
 pub mod sampler;
 pub mod target;
+pub mod trace;
 
 pub use adversary::{empirical_competitive_ratio, worst_case_mask, worst_case_outcome};
 pub use crash::{worst_case_crashes, CrashPlan};
 pub use engine::{SimConfig, Simulation};
 pub use event::{Event, EventKind};
-pub use fault::{BernoulliFaults, FaultMask, FaultModel, FixedFaults};
-pub use montecarlo::{run_sweep, run_sweep_ratios, MonteCarloConfig, RatioStats};
-pub use outcome::{Detection, SearchOutcome, Visit};
+pub use explorer::{explore_fault_space, ExplorationReport, ExplorerConfig, MaskResult};
+pub use fault::{
+    check_adversary_budget, BernoulliFaults, FaultKind, FaultMask, FaultModel, FaultPlan,
+    FixedFaults,
+};
+pub use montecarlo::{
+    run_sweep, run_sweep_ratios, run_sweep_ratios_seeded, run_sweep_seeded, MonteCarloConfig,
+    RatioStats,
+};
+pub use outcome::{Detection, SearchOutcome, SearchVerdict, Visit};
 pub use robot::{Reliability, Robot, RobotId};
-pub use sampler::{replay_check, sample_positions, snapshots_to_csv, Snapshot};
+pub use sampler::{
+    replay_check, sample_positions, sample_positions_random, snapshots_to_csv, Snapshot,
+};
 pub use target::Target;
+pub use trace::RunTrace;

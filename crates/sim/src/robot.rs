@@ -4,9 +4,7 @@ use faultline_core::PiecewiseTrajectory;
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a robot within a fleet (its index in plan order).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct RobotId(pub usize);
 
 impl std::fmt::Display for RobotId {

@@ -7,6 +7,7 @@
 //! event engine against bookkeeping bugs.
 
 use faultline_core::{Error, PiecewiseTrajectory, Result};
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::outcome::SearchOutcome;
@@ -52,6 +53,42 @@ pub fn sample_positions(
     Ok(out)
 }
 
+/// Samples all robot positions at `count` random instants drawn
+/// uniformly from `[0, until]`, sorted by time. The draw is a pure
+/// function of the explicit `seed`, so figures built from random
+/// snapshots are reproducible from a single CLI-visible number (the
+/// fixed-grid [`sample_positions`] has no randomness at all).
+///
+/// # Errors
+///
+/// Returns [`Error::Domain`] for `count == 0`, a non-positive or
+/// non-finite `until`, or an empty fleet.
+pub fn sample_positions_random(
+    trajectories: &[PiecewiseTrajectory],
+    count: usize,
+    until: f64,
+    seed: u64,
+) -> Result<Vec<Snapshot>> {
+    if trajectories.is_empty() {
+        return Err(Error::invalid_params(0, 0, "sampling needs at least one robot"));
+    }
+    if count == 0 || !(until > 0.0) || !until.is_finite() {
+        return Err(Error::domain(format!(
+            "random sampling needs count > 0 and finite until > 0, got count = {count}, until = {until}"
+        )));
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut times: Vec<f64> = (0..count).map(|_| rng.random_range(0.0..until)).collect();
+    times.sort_by(f64::total_cmp);
+    Ok(times
+        .into_iter()
+        .map(|t| Snapshot {
+            t,
+            positions: trajectories.iter().map(|traj| traj.position_at(t)).collect(),
+        })
+        .collect())
+}
+
 /// Serializes snapshots as CSV: `t,robot0,robot1,...` with empty cells
 /// after a trajectory's end.
 #[must_use]
@@ -78,6 +115,12 @@ pub fn snapshots_to_csv(snapshots: &[Snapshot]) -> String {
 /// Re-derives the distinct-robot visit sequence of `outcome` directly
 /// from the trajectories (no event queue) and checks it against the
 /// engine's record. Returns the number of verified visits.
+///
+/// This check assumes classic crash/sensor-fault semantics (every
+/// robot reports the instant it arrives, or never); outcomes produced
+/// under the extended taxonomy — delayed reports or speed-degraded
+/// robots — follow different timing and should be verified with
+/// [`crate::trace::RunTrace::verify`] instead.
 ///
 /// # Errors
 ///
@@ -154,6 +197,29 @@ mod tests {
         assert_eq!(snaps[4].positions[0], Some(2.0));
         // Past the trajectory's horizon the robot reports None.
         assert_eq!(snaps[5].positions[0], None);
+    }
+
+    #[test]
+    fn random_sampling_is_seed_deterministic() {
+        let t = TrajectoryBuilder::from_origin().sweep_to(3.0).finish().unwrap();
+        let a = sample_positions_random(std::slice::from_ref(&t), 16, 3.0, 42).unwrap();
+        let b = sample_positions_random(std::slice::from_ref(&t), 16, 3.0, 42).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        // Times come out sorted and inside the window.
+        assert!(a.windows(2).all(|w| w[0].t <= w[1].t));
+        assert!(a.iter().all(|s| (0.0..3.0).contains(&s.t)));
+        let c = sample_positions_random(std::slice::from_ref(&t), 16, 3.0, 43).unwrap();
+        assert_ne!(a, c, "different seeds draw different instants");
+    }
+
+    #[test]
+    fn random_sampling_validates_inputs() {
+        let t = TrajectoryBuilder::from_origin().sweep_to(2.0).finish().unwrap();
+        assert!(sample_positions_random(&[], 4, 1.0, 0).is_err());
+        assert!(sample_positions_random(std::slice::from_ref(&t), 0, 1.0, 0).is_err());
+        assert!(sample_positions_random(std::slice::from_ref(&t), 4, 0.0, 0).is_err());
+        assert!(sample_positions_random(std::slice::from_ref(&t), 4, f64::INFINITY, 0).is_err());
     }
 
     #[test]

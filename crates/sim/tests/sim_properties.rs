@@ -3,9 +3,11 @@
 use faultline_core::coverage::Fleet;
 use faultline_core::{Algorithm, Params, PiecewiseTrajectory};
 use faultline_sim::engine::{SimConfig, Simulation};
-use faultline_sim::fault::{BernoulliFaults, FaultMask};
+use faultline_sim::fault::{BernoulliFaults, FaultKind, FaultMask, FaultPlan};
 use faultline_sim::target::Target;
-use faultline_sim::{worst_case_mask, worst_case_outcome};
+use faultline_sim::{
+    explore_fault_space, worst_case_mask, worst_case_outcome, ExplorerConfig, RunTrace,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -14,6 +16,24 @@ fn proportional_params() -> impl Strategy<Value = Params> {
     (1usize..10).prop_flat_map(|f| {
         ((f + 1)..(2 * f + 2)).prop_map(move |n| Params::new(n, f).expect("valid by range"))
     })
+}
+
+/// Proportional-regime pairs with n <= 5: small enough that the
+/// fault-space explorer enumerates every mask exhaustively.
+fn small_proportional_params() -> impl Strategy<Value = Params> {
+    (1usize..5).prop_flat_map(|f| {
+        ((f + 1)..(2 * f + 2).min(6)).prop_map(move |n| Params::new(n, f).expect("valid by range"))
+    })
+}
+
+fn fault_kind() -> impl Strategy<Value = FaultKind> {
+    prop_oneof![
+        Just(FaultKind::Reliable),
+        Just(FaultKind::Sensor),
+        (0.0f64..1.0).prop_map(|p| FaultKind::Intermittent { miss_probability: p }),
+        (0.0f64..4.0).prop_map(|l| FaultKind::Delayed { latency: l }),
+        (0.25f64..1.0).prop_map(|s| FaultKind::SpeedDegraded { factor: s }),
+    ]
 }
 
 fn materialize(alg: &Algorithm, xmax: f64) -> Vec<PiecewiseTrajectory> {
@@ -121,6 +141,59 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// The adversary-dominance invariant, checked exhaustively: for
+    /// every valid small (n, f) and a random target on either side,
+    /// *every* fault mask with at most f faults detects no later than
+    /// the adversarial bound T_(f+1)(x).
+    #[test]
+    fn every_mask_respects_the_adversarial_bound(
+        params in small_proportional_params(),
+        x in 1.0f64..12.0,
+        negative in any::<bool>(),
+    ) {
+        let alg = Algorithm::design(params).unwrap();
+        let trajectories = materialize(&alg, 13.0);
+        let target = Target::new(if negative { -x } else { x }).unwrap();
+        let report = explore_fault_space(
+            &trajectories,
+            target,
+            params.f(),
+            &ExplorerConfig::default(),
+        ).unwrap();
+        prop_assert!(!report.subsampled, "small spaces must be exhaustive");
+        prop_assert_eq!(report.tested_masks, report.total_masks);
+        prop_assert!(report.holds(), "{}", report.summary());
+    }
+
+    /// Record -> serialize -> parse -> replay reproduces the identical
+    /// SearchOutcome for arbitrary fault plans from the full taxonomy.
+    #[test]
+    fn traces_replay_bit_for_bit_after_json_round_trip(
+        params in small_proportional_params(),
+        x in 1.0f64..10.0,
+        negative in any::<bool>(),
+        seed in any::<u64>(),
+        kinds in prop::collection::vec(fault_kind(), 5..6),
+    ) {
+        let alg = Algorithm::design(params).unwrap();
+        let trajectories = materialize(&alg, 11.0);
+        let plan = FaultPlan::new(kinds[..params.n()].to_vec()).unwrap();
+        let target = Target::new(if negative { -x } else { x }).unwrap();
+        let trace = RunTrace::record(
+            "property round trip",
+            trajectories,
+            target,
+            &plan,
+            seed,
+            SimConfig::default(),
+            None,
+        ).unwrap();
+        let parsed = RunTrace::from_json(&trace.to_json().unwrap()).unwrap();
+        prop_assert_eq!(&parsed, &trace, "JSON round trip must be lossless");
+        prop_assert_eq!(parsed.replay().unwrap(), trace.outcome.clone());
+        parsed.verify().unwrap();
     }
 
     /// Searches with zero faults detect at exactly the fleet's first

@@ -193,8 +193,7 @@ mod tests {
 
     #[test]
     fn delayed_plan_holds_then_runs() {
-        let plan =
-            DelayedPlan::new(GeometricSweepPlan::classic_doubling(), 3.0).unwrap();
+        let plan = DelayedPlan::new(GeometricSweepPlan::classic_doubling(), 3.0).unwrap();
         let traj = plan.materialize(20.0).unwrap();
         assert_eq!(traj.position_at(2.0), Some(0.0));
         assert_eq!(traj.position_at(4.0), Some(1.0)); // launched at t = 3
@@ -229,9 +228,7 @@ mod tests {
         let plans = strategy.plans(params).unwrap();
         let fleet = Fleet::from_plans(&plans, strategy.horizon_hint(params, 40.0)).unwrap();
         // T_3(x) = herd first visit + 2 * 0.5 exactly.
-        let herd = GeometricSweepPlan::classic_doubling()
-            .materialize(1_000.0)
-            .unwrap();
+        let herd = GeometricSweepPlan::classic_doubling().materialize(1_000.0).unwrap();
         for x in [1.5, -3.0, 7.0] {
             let lagged = fleet.visit_time(x, 3).unwrap();
             let base = herd.first_visit(x).unwrap();
@@ -272,12 +269,8 @@ pub(crate) mod tests_support {
     pub fn measure(strategy: &dyn Strategy, params: Params, xmax: f64) -> Option<f64> {
         let plans = strategy.plans(params).ok()?;
         let fleet = Fleet::from_plans(&plans, strategy.horizon_hint(params, xmax)).ok()?;
-        let turning: Vec<f64> = fleet
-            .trajectories()
-            .iter()
-            .flat_map(|t| t.turning_points())
-            .map(|p| p.x)
-            .collect();
+        let turning: Vec<f64> =
+            fleet.trajectories().iter().flat_map(|t| t.turning_points()).map(|p| p.x).collect();
         let targets =
             faultline_core::coverage::adversarial_targets(&turning, xmax, 48, 1e-9).ok()?;
         let scan = fleet.supremum(&targets, params.required_visits()).ok()?;

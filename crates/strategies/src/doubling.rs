@@ -236,8 +236,7 @@ mod tests {
         let params = Params::new(4, 2).unwrap();
         let plans = StaggeredDoublingStrategy::new().plans(params).unwrap();
         assert_eq!(plans.len(), 4);
-        let labels: std::collections::HashSet<String> =
-            plans.iter().map(|p| p.label()).collect();
+        let labels: std::collections::HashSet<String> = plans.iter().map(|p| p.label()).collect();
         assert_eq!(labels.len(), 4, "each robot gets its own first leg");
     }
 

@@ -81,10 +81,8 @@ mod tests {
 
     #[test]
     fn strategy_trait_is_object_safe() {
-        let strategies: Vec<Box<dyn Strategy>> = vec![
-            Box::new(PaperStrategy::new()),
-            Box::new(HerdDoublingStrategy::new()),
-        ];
+        let strategies: Vec<Box<dyn Strategy>> =
+            vec![Box::new(PaperStrategy::new()), Box::new(HerdDoublingStrategy::new())];
         assert_eq!(strategies.len(), 2);
     }
 

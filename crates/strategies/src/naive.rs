@@ -37,8 +37,7 @@ impl Strategy for PessimalSplitStrategy {
     }
 
     fn description(&self) -> String {
-        "always split into two sweeping groups, ignoring f (unbounded CR when n < 2f+2)"
-            .to_owned()
+        "always split into two sweeping groups, ignoring f (unbounded CR when n < 2f+2)".to_owned()
     }
 
     fn plans(&self, params: Params) -> Result<Vec<Box<dyn TrajectoryPlan>>> {

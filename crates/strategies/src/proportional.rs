@@ -37,8 +37,7 @@ impl Strategy for ProportionalStrategy {
     }
 
     fn analytic_cr(&self, params: Params) -> Option<f64> {
-        (params.regime() == Regime::Proportional)
-            .then(|| faultline_core::ratio::cr_upper(params))
+        (params.regime() == Regime::Proportional).then(|| faultline_core::ratio::cr_upper(params))
     }
 
     fn horizon_hint(&self, params: Params, xmax: f64) -> f64 {
@@ -116,8 +115,7 @@ impl Strategy for PaperStrategy {
     }
 
     fn description(&self) -> String {
-        "the paper's algorithm: two-group for n >= 2f+2, proportional A(n, f) otherwise"
-            .to_owned()
+        "the paper's algorithm: two-group for n >= 2f+2, proportional A(n, f) otherwise".to_owned()
     }
 
     fn plans(&self, params: Params) -> Result<Vec<Box<dyn TrajectoryPlan>>> {

@@ -83,14 +83,8 @@ impl RandomizedSweepStrategy {
 /// The minimizer of `1 + (1 + r)/ln r` over `r > 1` (≈ 3.59112).
 #[must_use]
 pub fn kao_optimal_expansion() -> f64 {
-    faultline_core::numeric::golden_min(
-        |r| 1.0 + (1.0 + r) / r.ln(),
-        1.0 + 1e-9,
-        20.0,
-        1e-12,
-        500,
-    )
-    .expect("the objective is unimodal on (1, 20)")
+    faultline_core::numeric::golden_min(|r| 1.0 + (1.0 + r) / r.ln(), 1.0 + 1e-9, 20.0, 1e-12, 500)
+        .expect("the objective is unimodal on (1, 20)")
 }
 
 impl RandomizedStrategy for RandomizedSweepStrategy {

@@ -20,9 +20,7 @@ pub fn all_strategies() -> Vec<Box<dyn Strategy>> {
         Box::new(HerdDoublingStrategy::new()),
         Box::new(StaggeredDoublingStrategy::new()),
         Box::new(MirroredPairsStrategy::new()),
-        Box::new(
-            DelayedDoublingStrategy::new(1.0).expect("a unit delay is always valid"),
-        ),
+        Box::new(DelayedDoublingStrategy::new(1.0).expect("a unit delay is always valid")),
         Box::new(PessimalSplitStrategy::new()),
     ]
 }

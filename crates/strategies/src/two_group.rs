@@ -25,8 +25,7 @@ impl Strategy for TwoGroupStrategy {
     }
 
     fn description(&self) -> String {
-        "two groups of >= f+1 robots sweep opposite directions (CR 1, needs n >= 2f+2)"
-            .to_owned()
+        "two groups of >= f+1 robots sweep opposite directions (CR 1, needs n >= 2f+2)".to_owned()
     }
 
     fn plans(&self, params: Params) -> Result<Vec<Box<dyn TrajectoryPlan>>> {

@@ -43,7 +43,8 @@ const USAGE: &str = "usage:
   faultline spectrum <n> <f> [xmax]
   faultline animate  <n> <f> <dt> <until> <file.csv>
   faultline timeline <n> <f> [horizon] [target]
-  faultline scenario <file.json>";
+  faultline scenario <file.json>
+  faultline replay   <trace.json>";
 
 fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let command = args.first().map(String::as_str).ok_or("missing command")?;
@@ -56,6 +57,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "animate" => animate(parse_params(args)?, &args[3..]),
         "timeline" => timeline(parse_params(args)?, &args[3..]),
         "scenario" => scenario(&args[1..]),
+        "replay" => replay(&args[1..]),
         other => Err(format!("unknown command `{other}`").into()),
     }
 }
@@ -108,11 +110,8 @@ fn simulate(params: Params, rest: &[String]) -> Result<(), Box<dyn std::error::E
     let target = Target::new(target)?;
     let alg = Algorithm::design(params)?;
     let horizon = alg.required_horizon(target.distance() * 1.5 + 2.0)?;
-    let trajectories = alg
-        .plans()
-        .iter()
-        .map(|p| p.materialize(horizon))
-        .collect::<Result<Vec<_>, _>>()?;
+    let trajectories =
+        alg.plans().iter().map(|p| p.materialize(horizon)).collect::<Result<Vec<_>, _>>()?;
 
     let outcome = match rest.get(1) {
         Some(list) => {
@@ -223,11 +222,8 @@ fn timeline(params: Params, rest: &[String]) -> Result<(), Box<dyn std::error::E
         None => None,
     };
     let alg = Algorithm::design(params)?;
-    let trajectories = alg
-        .plans()
-        .iter()
-        .map(|p| p.materialize(horizon))
-        .collect::<Result<Vec<_>, _>>()?;
+    let trajectories =
+        alg.plans().iter().map(|p| p.materialize(horizon)).collect::<Result<Vec<_>, _>>()?;
     print!(
         "{}",
         faultline_suite::analysis::timeline::render_timeline(&trajectories, target, 30, 72)?
@@ -238,8 +234,26 @@ fn timeline(params: Params, rest: &[String]) -> Result<(), Box<dyn std::error::E
 fn scenario(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let path = rest.first().ok_or("missing <file.json>")?;
     let json = std::fs::read_to_string(path)?;
-    let scenario = faultline_suite::scenario::Scenario::from_json(&json)?;
-    let results = scenario.run()?;
+    // Accepts a declarative scenario or a recorded run trace; a trace
+    // is re-executed and checked bit-for-bit against its record.
+    let results = faultline_suite::scenario::run_document(&json)?;
+    println!("{}", faultline_suite::scenario::results_to_json(&results)?);
+    Ok(())
+}
+
+fn replay(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = rest.first().ok_or("missing <trace.json>")?;
+    let json = std::fs::read_to_string(path)?;
+    let trace = faultline_suite::sim::RunTrace::from_json(&json)?;
+    eprintln!(
+        "replaying `{}` ({} robots, target {}, seed {})",
+        trace.reason,
+        trace.trajectories.len(),
+        trace.target,
+        trace.seed
+    );
+    let results = faultline_suite::scenario::run_document(&json)?;
+    eprintln!("replay matches the recorded outcome bit-for-bit");
     println!("{}", faultline_suite::scenario::results_to_json(&results)?);
     Ok(())
 }
@@ -249,11 +263,8 @@ fn animate(params: Params, rest: &[String]) -> Result<(), Box<dyn std::error::Er
     let until: f64 = rest.get(1).ok_or("missing <until>")?.parse()?;
     let file = rest.get(2).ok_or("missing <file.csv>")?;
     let alg = Algorithm::design(params)?;
-    let trajectories = alg
-        .plans()
-        .iter()
-        .map(|p| p.materialize(until))
-        .collect::<Result<Vec<_>, _>>()?;
+    let trajectories =
+        alg.plans().iter().map(|p| p.materialize(until)).collect::<Result<Vec<_>, _>>()?;
     let snaps = sample_positions(&trajectories, dt, until)?;
     std::fs::write(file, snapshots_to_csv(&snaps))?;
     println!("{} snapshots written to {file}", snaps.len());

@@ -37,9 +37,7 @@ pub mod prelude {
     pub use faultline_sim::{
         worst_case_outcome, FaultMask, SearchOutcome, SimConfig, Simulation, Target,
     };
-    pub use faultline_strategies::{
-        all_strategies, strategy_by_name, PaperStrategy, Strategy,
-    };
+    pub use faultline_strategies::{all_strategies, strategy_by_name, PaperStrategy, Strategy};
 
     pub use crate::scenario::{Scenario, ScenarioResult};
 }

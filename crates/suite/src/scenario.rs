@@ -16,10 +16,15 @@
 //!   `"fixed-beta"` together with a `"beta"` field.
 //! * `faulty` — explicit faulty robot indices; omit to use the
 //!   worst-case adversary per target.
+//!
+//! The CLI also accepts a recorded failure trace
+//! ([`faultline_sim::RunTrace`] JSON) wherever a scenario file is
+//! expected: [`run_document`] detects the document kind, re-executes a
+//! trace bit-for-bit, and reports it in the same result format.
 
 use faultline_core::{Error, Params, Result, TrajectoryPlan};
 use faultline_sim::engine::SimConfig;
-use faultline_sim::{worst_case_outcome, FaultMask, SearchOutcome, Simulation, Target};
+use faultline_sim::{worst_case_outcome, FaultMask, RunTrace, SearchOutcome, Simulation, Target};
 use faultline_strategies::{strategy_by_name, FixedBetaStrategy, Strategy};
 use serde::{Deserialize, Serialize};
 
@@ -60,6 +65,18 @@ pub struct ScenarioResult {
     pub detected_by: Option<usize>,
     /// Distinct robots that visited the target up to detection.
     pub distinct_visitors: usize,
+}
+
+impl ScenarioResult {
+    fn from_outcome(target: f64, outcome: &SearchOutcome) -> Self {
+        ScenarioResult {
+            target,
+            detection_time: outcome.detection.as_ref().map(|d| d.time),
+            ratio: outcome.ratio(),
+            detected_by: outcome.detection.as_ref().map(|d| d.robot.0),
+            distinct_visitors: outcome.distinct_visitors(),
+        }
+    }
 }
 
 impl Scenario {
@@ -137,16 +154,10 @@ impl Scenario {
         let params = Params::new(self.n, self.f)?;
         let strategy = self.build_strategy()?;
         let plans: Vec<Box<dyn TrajectoryPlan>> = strategy.plans(params)?;
-        let xmax = self
-            .targets
-            .iter()
-            .map(|x| x.abs())
-            .fold(1.0f64, f64::max);
+        let xmax = self.targets.iter().map(|x| x.abs()).fold(1.0f64, f64::max);
         let horizon = strategy.horizon_hint(params, xmax * 1.01 + 1.0);
-        let trajectories = plans
-            .iter()
-            .map(|p| p.materialize(horizon))
-            .collect::<Result<Vec<_>>>()?;
+        let trajectories =
+            plans.iter().map(|p| p.materialize(horizon)).collect::<Result<Vec<_>>>()?;
 
         self.targets
             .iter()
@@ -165,16 +176,30 @@ impl Scenario {
                         SimConfig::default(),
                     )?,
                 };
-                Ok(ScenarioResult {
-                    target: x,
-                    detection_time: outcome.detection.map(|d| d.time),
-                    ratio: outcome.ratio(),
-                    detected_by: outcome.detection.map(|d| d.robot.0),
-                    distinct_visitors: outcome.distinct_visitors(),
-                })
+                Ok(ScenarioResult::from_outcome(x, &outcome))
             })
             .collect()
     }
+}
+
+/// Runs a JSON document that is either a declarative [`Scenario`] or a
+/// recorded [`RunTrace`]. A trace is re-executed and checked
+/// bit-for-bit against its recorded outcome before being reported.
+///
+/// # Errors
+///
+/// Propagates scenario failures; for a trace, returns [`Error::Domain`]
+/// when the replayed outcome diverges from the recorded one, and
+/// rejects (never panics on) hand-edited traces with invalid
+/// parameters.
+pub fn run_document(json: &str) -> Result<Vec<ScenarioResult>> {
+    // The two document kinds have disjoint required fields, so the
+    // trace parser cleanly rejects scenarios and vice versa.
+    if let Ok(trace) = RunTrace::from_json(json) {
+        trace.verify()?;
+        return Ok(vec![ScenarioResult::from_outcome(trace.target, &trace.outcome)]);
+    }
+    Scenario::from_json(json)?.run()
 }
 
 /// Serializes results back to pretty JSON (for piping to other tools).
@@ -210,22 +235,16 @@ mod tests {
         assert!(Scenario::from_json("{").is_err());
         assert!(Scenario::from_json(r#"{"n": 1, "f": 3, "targets": [2.0]}"#).is_err());
         assert!(Scenario::from_json(r#"{"n": 3, "f": 1, "targets": []}"#).is_err());
-        assert!(Scenario::from_json(
-            r#"{"n": 3, "f": 1, "strategy": "nope", "targets": [2.0]}"#
-        )
-        .is_err());
+        assert!(Scenario::from_json(r#"{"n": 3, "f": 1, "strategy": "nope", "targets": [2.0]}"#)
+            .is_err());
         assert!(Scenario::from_json(
             r#"{"n": 3, "f": 1, "strategy": "fixed-beta", "targets": [2.0]}"#
         )
         .is_err());
-        assert!(Scenario::from_json(
-            r#"{"n": 3, "f": 1, "beta": 2.0, "targets": [2.0]}"#
-        )
-        .is_err());
-        assert!(Scenario::from_json(
-            r#"{"n": 3, "f": 1, "targets": [2.0], "faulty": [0, 1]}"#
-        )
-        .is_err());
+        assert!(Scenario::from_json(r#"{"n": 3, "f": 1, "beta": 2.0, "targets": [2.0]}"#).is_err());
+        assert!(
+            Scenario::from_json(r#"{"n": 3, "f": 1, "targets": [2.0], "faulty": [0, 1]}"#).is_err()
+        );
     }
 
     #[test]
@@ -242,10 +261,8 @@ mod tests {
 
     #[test]
     fn runs_with_explicit_faults() {
-        let s = Scenario::from_json(
-            r#"{"n": 3, "f": 1, "targets": [2.0], "faulty": [0]}"#,
-        )
-        .unwrap();
+        let s =
+            Scenario::from_json(r#"{"n": 3, "f": 1, "targets": [2.0], "faulty": [0]}"#).unwrap();
         let results = s.run().unwrap();
         assert!(results[0].detection_time.is_some());
         assert_ne!(results[0].detected_by, Some(0), "robot 0 is faulty");
@@ -270,6 +287,42 @@ mod tests {
         let results = s.run().unwrap();
         assert!(results[0].ratio.is_infinite());
         assert_eq!(results[0].detection_time, None);
+    }
+
+    #[test]
+    fn run_document_dispatches_on_document_kind() {
+        use faultline_core::TrajectoryBuilder;
+        use faultline_sim::{FaultKind, FaultPlan};
+
+        // A scenario document takes the scenario path.
+        let results = run_document(BASIC).unwrap();
+        assert_eq!(results.len(), 2);
+
+        // A recorded trace replays bit-for-bit and reports one result.
+        let straight = |to: f64| TrajectoryBuilder::from_origin().sweep_to(to).finish().unwrap();
+        let trace = RunTrace::record(
+            "suite replay test",
+            vec![straight(9.0), straight(9.0)],
+            Target::new(2.0).unwrap(),
+            &FaultPlan::new(vec![FaultKind::Sensor, FaultKind::Reliable]).unwrap(),
+            0,
+            SimConfig::default(),
+            None,
+        )
+        .unwrap();
+        assert!(trace.outcome.detected(), "robot 1 reaches and reports the target");
+        let results = run_document(&trace.to_json().unwrap()).unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].target, 2.0);
+        assert_eq!(results[0].detection_time, trace.outcome.detection.as_ref().map(|d| d.time));
+
+        // A diverging trace (tampered outcome) is rejected, not panicked.
+        let mut tampered = trace.clone();
+        tampered.outcome.detection = None;
+        assert!(run_document(&tampered.to_json().unwrap()).is_err());
+
+        // Garbage is rejected with the scenario parser's error.
+        assert!(run_document("{ not json").is_err());
     }
 
     #[test]

@@ -28,11 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("alpha({n}) = {alpha:.6} — no strategy can beat this ratio");
     println!(
         "adversarial placements: ±1, {}",
-        points
-            .iter()
-            .map(|x| format!("±{x:.4}"))
-            .collect::<Vec<_>>()
-            .join(", ")
+        points.iter().map(|x| format!("±{x:.4}")).collect::<Vec<_>>().join(", ")
     );
     println!();
 
@@ -52,15 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         };
         let horizon = strategy.horizon_hint(params, xmax);
-        let trajectories = plans
-            .iter()
-            .map(|p| p.materialize(horizon))
-            .collect::<Result<Vec<_>, _>>()?;
-        let outcome =
-            lower_bound::adversarial_ratio(&trajectories, params.f(), n, alpha)?;
-        let guarantee = strategy
-            .analytic_cr(params)
-            .map_or("unknown".to_owned(), |v| format!("{v:.4}"));
+        let trajectories =
+            plans.iter().map(|p| p.materialize(horizon)).collect::<Result<Vec<_>, _>>()?;
+        let outcome = lower_bound::adversarial_ratio(&trajectories, params.f(), n, alpha)?;
+        let guarantee =
+            strategy.analytic_cr(params).map_or("unknown".to_owned(), |v| format!("{v:.4}"));
         let forced = if outcome.ratio.is_finite() {
             format!("{:.4}", outcome.ratio)
         } else {
@@ -73,10 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         rows.push(vec![strategy.name().to_owned(), guarantee, forced, note]);
     }
-    print!(
-        "{}",
-        render_table(&["strategy", "own guarantee", "adversary forces", "note"], &rows)
-    );
+    print!("{}", render_table(&["strategy", "own guarantee", "adversary forces", "note"], &rows));
     println!();
     println!(
         "every applicable strategy is forced to at least alpha({n}) = {alpha:.4}, \

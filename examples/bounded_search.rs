@@ -56,10 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     print!(
         "{}",
-        render_table(
-            &["cost per turn", "best beta", "best ratio", "ratio at paper beta*"],
-            &rows
-        )
+        render_table(&["cost per turn", "best beta", "best ratio", "ratio at paper beta*"], &rows)
     );
     println!("(paper's turn-free optimum: beta* = {paper_beta:.4})");
     println!();

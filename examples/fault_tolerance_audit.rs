@@ -41,10 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ]
         })
         .collect();
-    print!(
-        "{}",
-        render_table(&["true faults", "achieved CR", "oracle CR", "penalty"], &rows)
-    );
+    print!("{}", render_table(&["true faults", "achieved CR", "oracle CR", "penalty"], &rows));
     println!();
 
     // 2. Typical-case behaviour under random sensor failures.
@@ -56,13 +53,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for p_fail in [0.05, 0.2, 0.4] {
         let mut faults = BernoulliFaults::new(p_fail, f_design, StdRng::seed_from_u64(21))?;
         let mut rng = StdRng::seed_from_u64(42);
-        let stats = run_sweep(
-            &plans,
-            &mut faults,
-            MonteCarloConfig::new(2000, 100.0)?,
-            horizon,
-            &mut rng,
-        )?;
+        let stats =
+            run_sweep(&plans, &mut faults, MonteCarloConfig::new(2000, 100.0)?, horizon, &mut rng)?;
         rows.push(vec![
             format!("{p_fail}"),
             format!("{:.4}", stats.mean),

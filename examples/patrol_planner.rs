@@ -70,10 +70,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             traj.waypoints().iter().map(|p| (p.x, p.t)).collect(),
         ));
     }
-    let reach = series
-        .iter()
-        .flat_map(|s| s.points.iter().map(|p| p.0.abs()))
-        .fold(1.0f64, f64::max);
+    let reach =
+        series.iter().flat_map(|s| s.points.iter().map(|p| p.0.abs())).fold(1.0f64, f64::max);
     let mut canvas = SvgCanvas::new(800.0, 600.0, (-reach, reach), (0.0, horizon))?;
     canvas.axes();
     for (i, s) in series.iter().enumerate() {

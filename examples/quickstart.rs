@@ -37,11 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // picks the worst two robots to corrupt: the first two to arrive.
     let target = Target::new(-7.3)?;
     let horizon = algorithm.required_horizon(10.0)?;
-    let trajectories = algorithm
-        .plans()
-        .iter()
-        .map(|p| p.materialize(horizon))
-        .collect::<Result<Vec<_>, _>>()?;
+    let trajectories =
+        algorithm.plans().iter().map(|p| p.materialize(horizon)).collect::<Result<Vec<_>, _>>()?;
     let outcome = worst_case_outcome(trajectories, target, params.f(), SimConfig::default())?;
 
     println!("search for {target}:");

@@ -2,8 +2,9 @@
 //! cost, arrival-index spectrum, randomized sweeps, certificates and
 //! the verification matrix, exercised together through the facade.
 
-use faultline_suite::analysis::{bounded, convergence, group_search, randomized, turncost,
-    verification};
+use faultline_suite::analysis::{
+    bounded, convergence, group_search, randomized, turncost, verification,
+};
 use faultline_suite::core::certificate;
 use faultline_suite::core::{ratio, Params, ScheduleBuilder};
 use faultline_suite::strategies::{PaperStrategy, RandomizedSweepStrategy};
@@ -17,14 +18,10 @@ fn certificates_agree_with_measured_table() {
         let cert = certificate::certify_cr_upper(params).unwrap();
         let float_cr = ratio::cr_upper(params);
         assert!(cert.contains(float_cr));
-        let measured = faultline_suite::analysis::measure_strategy_cr(
-            &PaperStrategy::new(),
-            params,
-            25.0,
-            48,
-        )
-        .unwrap()
-        .empirical;
+        let measured =
+            faultline_suite::analysis::measure_strategy_cr(&PaperStrategy::new(), params, 25.0, 48)
+                .unwrap()
+                .empirical;
         // The measured supremum approaches the certified value from
         // below within the scan tolerance.
         assert!(measured <= cert.hi + 1e-6, "(n={n}, f={f})");
@@ -52,8 +49,8 @@ fn extension_experiments_compose() {
 
     // E2: turn cost is additive at the design point.
     let cr = ratio::cr_upper(params);
-    let priced = turncost::cost_cr(params, ratio::optimal_beta(params).unwrap(), 1.0, 20.0, 32)
-        .unwrap();
+    let priced =
+        turncost::cost_cr(params, ratio::optimal_beta(params).unwrap(), 1.0, 20.0, 32).unwrap();
     assert!((priced - (cr + 2.0)).abs() < 5e-3, "{priced} vs {}", cr + 2.0);
 
     // E3: spectrum is monotone and anchored at Theorem 1 for k = f + 1.

@@ -61,26 +61,20 @@ fn fig5_right_endpoints_match_theory() {
     assert_eq!(right.last().unwrap().cr, 3.0);
     // Consistency with the finite formula at a corresponding point:
     // a = 1.5 vs large (n, f) with n/f = 1.5.
-    let a15 = right.iter().min_by(|p, q| {
-        (p.a - 1.5).abs().total_cmp(&(q.a - 1.5).abs())
-    }).unwrap();
+    let a15 = right.iter().min_by(|p, q| (p.a - 1.5).abs().total_cmp(&(q.a - 1.5).abs())).unwrap();
     let finite = ratio::cr_upper(faultline_suite::core::Params::new(300, 200).unwrap());
     assert!((a15.cr - finite).abs() < 0.05, "{} vs {}", a15.cr, finite);
 }
 
 #[test]
 fn fig4_tower_is_tightest_at_turning_point_limits() {
-    use faultline_suite::core::{Params, ratio as r};
+    use faultline_suite::core::{ratio as r, Params};
     let fig = figures::fig4().unwrap();
     let tower = fig.series.iter().find(|s| s.label.starts_with("tower")).unwrap();
     let cr = r::cr_upper(Params::new(3, 1).unwrap());
     // The max of T_2(x)/|x| over the sampled grid is close to (and
     // never above) the competitive ratio.
-    let max_ratio = tower
-        .points
-        .iter()
-        .map(|&(x, t)| t / x.abs())
-        .fold(0.0f64, f64::max);
+    let max_ratio = tower.points.iter().map(|&(x, t)| t / x.abs()).fold(0.0f64, f64::max);
     assert!(max_ratio <= cr + 1e-9);
     assert!(max_ratio > 0.8 * cr, "grid max {max_ratio} too far below CR {cr}");
 }

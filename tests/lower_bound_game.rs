@@ -22,8 +22,7 @@ fn adversary_sandwiches_the_paper_algorithm() {
             let horizon = strategy.horizon_hint(params, xmax);
             let trajectories: Vec<_> =
                 plans.iter().map(|p| p.materialize(horizon).unwrap()).collect();
-            let outcome =
-                lower_bound::adversarial_ratio(&trajectories, f, n, alpha).unwrap();
+            let outcome = lower_bound::adversarial_ratio(&trajectories, f, n, alpha).unwrap();
             let upper = ratio::cr_upper(params);
             assert!(
                 outcome.ratio >= alpha - 1e-6,
@@ -46,8 +45,7 @@ fn adversary_forces_alpha_on_every_complete_strategy() {
     for strategy in all_strategies() {
         let Ok(plans) = strategy.plans(params) else { continue };
         let horizon = strategy.horizon_hint(params, 10.0);
-        let trajectories: Vec<_> =
-            plans.iter().map(|p| p.materialize(horizon).unwrap()).collect();
+        let trajectories: Vec<_> = plans.iter().map(|p| p.materialize(horizon).unwrap()).collect();
         let outcome = lower_bound::adversarial_ratio(&trajectories, 1, 3, alpha).unwrap();
         // Theorem 2: EVERY algorithm (complete or not) is forced to at
         // least alpha; incomplete ones are forced to infinity.

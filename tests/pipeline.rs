@@ -31,14 +31,9 @@ fn every_registered_strategy_runs_end_to_end() {
 fn paper_algorithm_beats_every_baseline_where_it_matters() {
     // On (5, 3) the paper's algorithm must beat both doubling baselines.
     let params = Params::new(5, 3).unwrap();
-    let paper = measure_strategy_cr(
-        strategy_by_name("paper").unwrap().as_ref(),
-        params,
-        25.0,
-        48,
-    )
-    .unwrap()
-    .empirical;
+    let paper = measure_strategy_cr(strategy_by_name("paper").unwrap().as_ref(), params, 25.0, 48)
+        .unwrap()
+        .empirical;
     for name in ["herd-doubling", "staggered-doubling"] {
         let baseline = measure_strategy_cr(
             strategy_by_name(name).unwrap().as_ref(),
@@ -50,10 +45,7 @@ fn paper_algorithm_beats_every_baseline_where_it_matters() {
         )
         .unwrap()
         .empirical;
-        assert!(
-            paper < baseline,
-            "paper ({paper}) should beat {name} ({baseline}) at {params}"
-        );
+        assert!(paper < baseline, "paper ({paper}) should beat {name} ({baseline}) at {params}");
     }
 }
 
@@ -67,11 +59,8 @@ fn full_pipeline_for_every_proportional_pair_up_to_n9() {
             }
             let alg = Algorithm::design(params).unwrap();
             let horizon = alg.required_horizon(6.0).unwrap();
-            let trajectories: Vec<_> = alg
-                .plans()
-                .iter()
-                .map(|p| p.materialize(horizon).unwrap())
-                .collect();
+            let trajectories: Vec<_> =
+                alg.plans().iter().map(|p| p.materialize(horizon).unwrap()).collect();
             let outcome = worst_case_outcome(
                 trajectories,
                 Target::new(-5.5).unwrap(),

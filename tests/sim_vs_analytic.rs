@@ -16,11 +16,8 @@ fn detection_times_agree_on_a_log_grid() {
         let params = Params::new(n, f).unwrap();
         let alg = Algorithm::design(params).unwrap();
         let horizon = alg.required_horizon(64.0).unwrap();
-        let trajectories: Vec<_> = alg
-            .plans()
-            .iter()
-            .map(|p| p.materialize(horizon).unwrap())
-            .collect();
+        let trajectories: Vec<_> =
+            alg.plans().iter().map(|p| p.materialize(horizon).unwrap()).collect();
         let fleet = Fleet::new(trajectories.clone()).unwrap();
         for x in logspace(1.0, 60.0, 17).unwrap() {
             for target in [x, -x] {

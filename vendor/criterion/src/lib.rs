@@ -1,0 +1,183 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the macro and type surface the workspace benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion`,
+//! `benchmark_group`, `bench_function`, `iter`, `iter_batched`,
+//! `BatchSize`) with a minimal measurement loop: each benchmark runs a
+//! short calibration burst and reports a mean wall-clock time. No
+//! statistics, plots or comparisons — just enough to keep `cargo bench`
+//! meaningful and `cargo test --benches` compiling.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped (accepted and ignored by this stub).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch.
+    SmallInput,
+    /// Large inputs: few per batch.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Timing loop handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times repeated runs of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let mut iterations = 0u64;
+        loop {
+            std::hint::black_box(routine());
+            iterations += 1;
+            if iterations >= 10 || start.elapsed() > Duration::from_millis(200) {
+                break;
+            }
+        }
+        self.total = start.elapsed();
+        self.iterations = iterations;
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut measured = Duration::ZERO;
+        let mut iterations = 0u64;
+        let wall = Instant::now();
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            measured += start.elapsed();
+            iterations += 1;
+            if iterations >= 10 || wall.elapsed() > Duration::from_millis(200) {
+                break;
+            }
+        }
+        self.total = measured;
+        self.iterations = iterations;
+    }
+
+    fn report(&self, name: &str) {
+        if self.iterations == 0 {
+            println!("{name:<50} no iterations");
+            return;
+        }
+        let mean = self.total / u32::try_from(self.iterations).unwrap_or(u32::MAX);
+        println!("{name:<50} {mean:>12.2?}/iter ({} iters)", self.iterations);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        bencher.report(&label);
+        self
+    }
+
+    /// Finishes the group (no-op in this stub).
+    pub fn finish(&mut self) {}
+
+    /// Accepts and ignores a sample-size hint.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepts and ignores a measurement-time hint.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _criterion: self }
+    }
+
+    /// Registers and immediately runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into();
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        bencher.report(&label);
+        self
+    }
+
+    /// Prints the final summary (no-op in this stub).
+    pub fn final_summary(&self) {}
+
+    /// Accepts and ignores a sample-size hint (builder style, matching
+    /// upstream's by-value signature used in `criterion_group!` config).
+    #[must_use]
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Accepts and ignores a measurement-time hint (builder style).
+    #[must_use]
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+}
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in
+/// favour of `std::hint::black_box`, which the benches already use).
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let _ = $config;
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,87 @@
+//! Offline stand-in for `crossbeam`, implementing the `thread::scope`
+//! API the workspace uses on top of `std::thread::scope` (which did
+//! not exist when crossbeam's scoped threads were introduced, but is a
+//! drop-in replacement today).
+
+/// Scoped threads.
+pub mod thread {
+    use std::thread as std_thread;
+
+    /// A scope for spawning borrowing threads (wraps [`std::thread::Scope`]).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result (or the
+        /// panic payload).
+        ///
+        /// # Errors
+        ///
+        /// Returns the payload if the thread panicked.
+        pub fn join(self) -> std_thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope; the closure receives the
+        /// scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(&scope)) }
+        }
+    }
+
+    /// Creates a scope in which threads may borrow from the enclosing
+    /// stack frame. Always returns `Ok`: panics in unjoined threads
+    /// propagate out of the closure, matching how this workspace uses
+    /// the API (every spawned thread is joined).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in this stub; the `Result` mirrors crossbeam's
+    /// signature.
+    pub fn scope<'env, F, R>(f: F) -> std_thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+}

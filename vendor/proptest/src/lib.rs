@@ -1,0 +1,288 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the subset of the proptest API the workspace uses —
+//! [`Strategy`] with `prop_map` / `prop_flat_map`, range strategies,
+//! `any::<T>()`, `prop::collection::vec`, `prop_oneof!`, and the
+//! `proptest!` / `prop_assert!` / `prop_assert_eq!` / `prop_assume!`
+//! macros — as a deterministic random-case runner. There is no
+//! shrinking: on failure the runner panics with the per-case seed so
+//! the case can be replayed. Seeds derive from the test name, so runs
+//! are reproducible across machines.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+pub use strategy::{any, Arbitrary, Just, Strategy};
+
+/// The deterministic generator handed to strategies.
+pub type TestRng = StdRng;
+
+/// Runner configuration (`cases` is the number of passing cases required).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration requiring `cases` passing cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Outcome of a single generated case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed with the given message.
+    Fail(String),
+    /// The case was rejected by `prop_assume!` and should not count.
+    Reject,
+}
+
+impl TestCaseError {
+    /// A failing case with an explanatory message.
+    #[must_use]
+    pub fn fail(message: String) -> Self {
+        TestCaseError::Fail(message)
+    }
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Drives one property: generates cases until `config.cases` pass,
+/// tolerating up to `16 * cases` rejections. Panics (failing the test)
+/// on the first failed case, reporting the per-case seed.
+///
+/// # Panics
+///
+/// Panics when a case fails or too many cases are rejected.
+pub fn run_cases<F>(config: ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name);
+    let mut passed: u32 = 0;
+    let mut rejected: u32 = 0;
+    let mut attempt: u64 = 0;
+    while passed < config.cases {
+        let seed = base ^ attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut rng = TestRng::seed_from_u64(seed);
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.cases.saturating_mul(16),
+                    "{name}: too many rejected cases ({rejected}) for {} required",
+                    config.cases
+                );
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!("{name}: case {passed} failed (case seed {seed:#018x})\n{message}")
+            }
+        }
+        attempt += 1;
+    }
+}
+
+/// Namespaced strategy constructors, mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+}
+
+/// One-stop import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig, TestCaseError,
+    };
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`run_cases`] over the generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases($config, stringify!($name), |__proptest_rng| {
+                    $(
+                        let $arg = $crate::Strategy::generate(&($strat), __proptest_rng);
+                    )+
+                    let mut __proptest_case =
+                        move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        };
+                    __proptest_case()
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case
+/// (not the whole process) with an optional formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?} == {:?}`",
+                __l, __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?} == {:?}`: {}",
+                __l,
+                __r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?} != {:?}`",
+                __l, __r
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (it is re-drawn and does not count).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Picks uniformly between several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_maps(
+            n in 1usize..10,
+            x in prop_oneof![0.5f64..1.0, -1.0f64..-0.5],
+            flag in any::<bool>(),
+            v in prop::collection::vec(0u64..5, 2..6),
+        ) {
+            prop_assert!((1..10).contains(&n));
+            prop_assert!(x.abs() >= 0.5 && x.abs() < 1.0, "x = {x}");
+            prop_assert!(matches!(flag, true | false));
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        #[test]
+        fn flat_map_respects_dependency(
+            pair in (1usize..8).prop_flat_map(|a| (a..8).prop_map(move |b| (a, b))),
+        ) {
+            prop_assert!(pair.0 <= pair.1);
+            prop_assert_eq!(pair.0.min(pair.1), pair.0);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(k in 0usize..10) {
+            prop_assume!(k % 2 == 0);
+            prop_assert!(k % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn failure_reports_seed() {
+        let result = std::panic::catch_unwind(|| {
+            crate::run_cases(ProptestConfig::with_cases(4), "always_fails", |_| {
+                Err(TestCaseError::fail("boom".into()))
+            });
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,269 @@
+//! Value-generation strategies: the composable half of the stub.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::{Rng, RngCore};
+
+use crate::TestRng;
+
+/// A recipe for generating values of an associated type.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draws one value from the strategy.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Boxes a strategy for heterogeneous storage (used by `prop_oneof!`).
+pub fn boxed<S>(strategy: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(strategy)
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies (backs `prop_oneof!`).
+pub struct OneOf<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> OneOf<V> {
+    /// Builds the choice strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    #[must_use]
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        OneOf { options }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let index = rng.random_range(0..self.options.len());
+        self.options[index].generate(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(f64, usize, u64, u32, i32, i64);
+
+/// The size argument of [`vec`]: a fixed length or a length range.
+pub trait IntoSizeRange {
+    /// Converts into a half-open length range.
+    fn into_size_range(self) -> Range<usize>;
+}
+
+impl IntoSizeRange for usize {
+    fn into_size_range(self) -> Range<usize> {
+        self..self + 1
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn into_size_range(self) -> Range<usize> {
+        self
+    }
+}
+
+impl IntoSizeRange for RangeInclusive<usize> {
+    fn into_size_range(self) -> Range<usize> {
+        *self.start()..*self.end() + 1
+    }
+}
+
+/// Strategy for `Vec`s with element strategy and length range.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.size.start + 1 >= self.size.end {
+            self.size.start
+        } else {
+            rng.random_range(self.size.clone())
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `prop::collection::vec`: vectors of `element` with length in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into_size_range() }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical full-range strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Generates values from a plain function (backs [`Arbitrary`] impls).
+pub struct FnStrategy<V>(fn(&mut TestRng) -> V);
+
+impl<V> Strategy for FnStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// `any::<T>()`: the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+impl Arbitrary for bool {
+    type Strategy = FnStrategy<bool>;
+
+    fn arbitrary() -> Self::Strategy {
+        FnStrategy(|rng| rng.random_bool(0.5))
+    }
+}
+
+impl Arbitrary for u64 {
+    type Strategy = FnStrategy<u64>;
+
+    fn arbitrary() -> Self::Strategy {
+        FnStrategy(RngCore::next_u64)
+    }
+}
+
+impl Arbitrary for u32 {
+    type Strategy = FnStrategy<u32>;
+
+    fn arbitrary() -> Self::Strategy {
+        FnStrategy(RngCore::next_u32)
+    }
+}
+
+impl Arbitrary for usize {
+    type Strategy = FnStrategy<usize>;
+
+    fn arbitrary() -> Self::Strategy {
+        FnStrategy(|rng| rng.next_u64() as usize)
+    }
+}
+
+impl Arbitrary for i32 {
+    type Strategy = FnStrategy<i32>;
+
+    fn arbitrary() -> Self::Strategy {
+        FnStrategy(|rng| rng.next_u32() as i32)
+    }
+}
+
+impl Arbitrary for i64 {
+    type Strategy = FnStrategy<i64>;
+
+    fn arbitrary() -> Self::Strategy {
+        FnStrategy(|rng| rng.next_u64() as i64)
+    }
+}

@@ -1,0 +1,135 @@
+//! Deserialization traits, shaped like real serde's `de` module.
+
+use std::fmt::Display;
+
+use crate::value::{from_value, Value};
+
+/// Trait for deserialization errors, mirroring `serde::de::Error`.
+pub trait Error: Sized {
+    /// Builds an error from a display-able message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data format that can produce the [`Value`] data model.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Yields the complete value held by this deserializer.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific failures (parse errors, ...).
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A value reconstructible from the [`Value`] data model.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    ///
+    /// # Errors
+    ///
+    /// Shape mismatches and failed domain validation.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A value deserializable independent of the input's lifetime
+/// (trivially true here: the stub data model is fully owned).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+fn mismatch<E: Error>(expected: &str, got: &Value) -> E {
+    E::custom(format!("expected {expected}, got {}", got.kind()))
+}
+
+macro_rules! deserialize_signed {
+    ($($ty:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.take_value()? {
+                    Value::Int(v) => <$ty>::try_from(v)
+                        .map_err(|_| D::Error::custom(format!("integer {v} out of range"))),
+                    Value::UInt(v) => <$ty>::try_from(v)
+                        .map_err(|_| D::Error::custom(format!("integer {v} out of range"))),
+                    other => Err(mismatch("an integer", &other)),
+                }
+            }
+        }
+    )*};
+}
+
+deserialize_signed!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(mismatch("a boolean", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Float(v) => Ok(v),
+            Value::Int(v) => Ok(v as f64),
+            Value::UInt(v) => Ok(v as f64),
+            other => Err(mismatch("a number", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::String(s) => Ok(s),
+            other => Err(mismatch("a string", &other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Null => Ok(None),
+            value => from_value(value).map(Some).map_err(D::Error::custom),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Array(items) => items
+                .into_iter()
+                .enumerate()
+                .map(|(i, item)| {
+                    from_value(item).map_err(|e| D::Error::custom(format!("element {i}: {e}")))
+                })
+                .collect(),
+            other => Err(mismatch("an array", &other)),
+        }
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Array(items) if items.len() == 2 => {
+                let mut items = items.into_iter();
+                let a = from_value(items.next().expect("len checked")).map_err(D::Error::custom)?;
+                let b = from_value(items.next().expect("len checked")).map_err(D::Error::custom)?;
+                Ok((a, b))
+            }
+            other => Err(mismatch("a two-element array", &other)),
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements the *subset* of serde's API surface the workspace
+//! actually uses: the `Serialize`/`Deserialize` traits (with the same
+//! generic shapes as the real crate, so hand-written impls compile
+//! unchanged), the derive macros (via the sibling `serde_derive`
+//! stub), and a self-describing [`Value`] data model that the sibling
+//! `serde_json` stub serializes to and from.
+//!
+//! The design deliberately collapses serde's visitor machinery: a
+//! `Serializer` consumes a fully built [`Value`], and a `Deserializer`
+//! hands out a [`Value`]. This is slower than real serde but
+//! observationally equivalent for the JSON round-trips this workspace
+//! performs.
+
+pub mod de;
+pub mod ser;
+mod value;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use value::{from_value, to_value, Value, ValueError};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,138 @@
+//! Serialization traits, shaped like real serde's `ser` module.
+
+use std::fmt::Display;
+
+use crate::value::{to_value, Value};
+
+/// Trait for serialization errors, mirroring `serde::ser::Error`.
+pub trait Error: Sized {
+    /// Builds an error from a display-able message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data format that can serialize the [`Value`] data model.
+///
+/// Unlike real serde there is a single entry point: the caller builds
+/// the complete [`Value`] and hands it over.
+pub trait Serializer: Sized {
+    /// Output type produced on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+
+    /// Consumes a fully built value.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific failures.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A value serializable into the [`Value`] data model.
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer failures.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+macro_rules! serialize_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::Int(*self as i64))
+            }
+        }
+    )*};
+}
+
+serialize_int!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+impl Serialize for u64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let value = match i64::try_from(*self) {
+            Ok(v) => Value::Int(v),
+            Err(_) => Value::UInt(*self),
+        };
+        serializer.serialize_value(value)
+    }
+}
+
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (*self as u64).serialize(serializer)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Float(f64::from(*self)))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Float(*self))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::String(self.clone()))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::String(self.to_owned()))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_value(Value::Null),
+            Some(inner) => inner.serialize(serializer),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut items = Vec::with_capacity(self.len());
+        for item in self {
+            items.push(to_value(item).map_err(S::Error::custom)?);
+        }
+        serializer.serialize_value(Value::Array(items))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let items = vec![
+            to_value(&self.0).map_err(S::Error::custom)?,
+            to_value(&self.1).map_err(S::Error::custom)?,
+        ];
+        serializer.serialize_value(Value::Array(items))
+    }
+}

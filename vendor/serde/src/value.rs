@@ -1,0 +1,111 @@
+//! The self-describing data model shared by serialization and
+//! deserialization.
+
+use std::fmt;
+
+use crate::de::{self, Deserialize, Deserializer};
+use crate::ser::{self, Serialize, Serializer};
+
+/// A dynamically typed value: the intermediate representation every
+/// `Serialize`/`Deserialize` impl in this stub converts through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered map (insertion order preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short description of the value's kind, for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// The error type used when converting through [`Value`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueError(pub String);
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl ser::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+impl de::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+/// Serializer producing a [`Value`].
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, ValueError> {
+        Ok(value)
+    }
+}
+
+/// Deserializer consuming a [`Value`].
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = ValueError;
+
+    fn take_value(self) -> Result<Value, ValueError> {
+        Ok(self.0)
+    }
+}
+
+/// Converts any serializable value into the [`Value`] data model.
+///
+/// # Errors
+///
+/// Propagates errors raised by the type's `Serialize` impl.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, ValueError> {
+    value.serialize(ValueSerializer)
+}
+
+/// Rebuilds a deserializable value from the [`Value`] data model.
+///
+/// # Errors
+///
+/// Propagates errors raised by the type's `Deserialize` impl (shape
+/// mismatches, failed validation, ...).
+pub fn from_value<'de, T: Deserialize<'de>>(value: Value) -> Result<T, ValueError> {
+    T::deserialize(ValueDeserializer(value))
+}

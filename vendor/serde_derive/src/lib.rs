@@ -1,0 +1,576 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! the item shapes used in this workspace: non-generic structs (named,
+//! tuple, unit) and enums (unit, tuple and struct variants), plus the
+//! `#[serde(default)]` / `#[serde(default = "path")]` field attributes.
+//!
+//! The input item is parsed directly from the token stream (no `syn`);
+//! the generated impl targets the simplified `Value`-based trait model
+//! of the sibling `serde` stub.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum DefaultKind {
+    /// `#[serde(default)]`
+    Std,
+    /// `#[serde(default = "path")]`
+    Path(String),
+}
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    default: Option<DefaultKind>,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+type Tokens = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consumes one attribute (`#[...]`) if present; returns its bracketed
+/// token stream.
+fn take_attribute(tokens: &mut Tokens) -> Option<TokenStream> {
+    match tokens.peek() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+            tokens.next();
+            match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    Some(g.stream())
+                }
+                other => panic!("malformed attribute: expected [...], got {other:?}"),
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Extracts a `default` directive from a `serde(...)` attribute body,
+/// if the attribute is a serde attribute carrying one.
+fn parse_serde_attribute(attr: TokenStream) -> Option<DefaultKind> {
+    let mut iter = attr.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return None,
+    };
+    let mut body = body.into_iter().peekable();
+    while let Some(token) = body.next() {
+        if let TokenTree::Ident(id) = &token {
+            if id.to_string() == "default" {
+                match body.peek() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                        body.next();
+                        match body.next() {
+                            Some(TokenTree::Literal(lit)) => {
+                                let text = lit.to_string();
+                                let path = text.trim_matches('"').to_owned();
+                                return Some(DefaultKind::Path(path));
+                            }
+                            other => panic!(
+                                "#[serde(default = ...)] expects a string literal, got {other:?}"
+                            ),
+                        }
+                    }
+                    _ => return Some(DefaultKind::Std),
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(super)`, ...
+fn skip_visibility(tokens: &mut Tokens) {
+    if let Some(TokenTree::Ident(id)) = tokens.peek() {
+        if id.to_string() == "pub" {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+/// Parses the named fields of a struct or struct variant body.
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut tokens: Tokens = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let mut default = None;
+        while let Some(attr) = take_attribute(&mut tokens) {
+            if let Some(kind) = parse_serde_attribute(attr) {
+                default = Some(kind);
+            }
+        }
+        skip_visibility(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, got {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Skip the type: consume until a top-level `,` (tracking angle
+        // bracket depth; parens/brackets arrive as whole groups).
+        let mut angle_depth = 0i32;
+        for token in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &token {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut tokens: Tokens = body.into_iter().peekable();
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    while let Some(token) = tokens.next() {
+        saw_tokens = true;
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    saw_tokens = false;
+                }
+                _ => {}
+            }
+        }
+        let _ = &tokens;
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut tokens: Tokens = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        while take_attribute(&mut tokens).is_some() {}
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        for token in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &token {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens: Tokens = input.into_iter().peekable();
+    while take_attribute(&mut tokens).is_some() {}
+    skip_visibility(&mut tokens);
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde stub derive does not support generic types (on `{name}`)");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::NamedStruct { name, fields: parse_named_fields(g.stream()) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct { name, arity: count_tuple_fields(g.stream()) }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum { name, variants: parse_variants(g.stream()) }
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("cannot derive serde traits for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+const SER_ERR: &str = "<S::Error as ::serde::ser::Error>::custom";
+const DE_ERR: &str = "<D::Error as ::serde::de::Error>::custom";
+
+fn gen_serialize_named_fields(fields: &[Field], access_prefix: &str) -> String {
+    let mut code = String::from(
+        "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for field in fields {
+        let name = &field.name;
+        code.push_str(&format!(
+            "__fields.push((\"{name}\".to_string(), \
+             ::serde::to_value({access_prefix}{name}).map_err({SER_ERR})?));\n"
+        ));
+    }
+    code
+}
+
+fn gen_deserialize_named_fields(fields: &[Field], type_label: &str) -> String {
+    let mut code = String::new();
+    for field in fields {
+        let name = &field.name;
+        let missing = match &field.default {
+            Some(DefaultKind::Std) => "::std::default::Default::default()".to_owned(),
+            Some(DefaultKind::Path(path)) => format!("{path}()"),
+            None => format!(
+                "return ::std::result::Result::Err({DE_ERR}(\
+                 \"missing field `{name}` in `{type_label}`\"))"
+            ),
+        };
+        code.push_str(&format!(
+            "let __field_{name} = match __obj.iter().position(|(k, _)| k == \"{name}\") {{\n\
+             Some(i) => {{\n\
+             let __v = __obj.remove(i).1;\n\
+             ::serde::from_value(__v).map_err(|e| {DE_ERR}(\
+             format!(\"field `{name}` of `{type_label}`: {{e}}\")))?\n\
+             }}\n\
+             None => {{ {missing} }}\n\
+             }};\n"
+        ));
+    }
+    code
+}
+
+fn field_init_list(fields: &[Field]) -> String {
+    fields
+        .iter()
+        .map(|f| format!("{name}: __field_{name}", name = f.name))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn generate_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let mut body = gen_serialize_named_fields(fields, "&self.");
+            body.push_str("serializer.serialize_value(::serde::Value::Object(__fields))");
+            (name, body)
+        }
+        Item::TupleStruct { name, arity: 1 } => (
+            name,
+            format!("serializer.serialize_value(::serde::to_value(&self.0).map_err({SER_ERR})?)"),
+        ),
+        Item::TupleStruct { name, arity } => {
+            let mut body = String::from(
+                "let mut __items: ::std::vec::Vec<::serde::Value> = ::std::vec::Vec::new();\n",
+            );
+            for i in 0..*arity {
+                body.push_str(&format!(
+                    "__items.push(::serde::to_value(&self.{i}).map_err({SER_ERR})?);\n"
+                ));
+            }
+            body.push_str("serializer.serialize_value(::serde::Value::Array(__items))");
+            (name, body)
+        }
+        Item::UnitStruct { name } => {
+            (name, "serializer.serialize_value(::serde::Value::Null)".to_owned())
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => serializer.serialize_value(\
+                         ::serde::Value::String(\"{vname}\".to_string())),\n"
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let bindings =
+                            fields.iter().map(|f| f.name.clone()).collect::<Vec<_>>().join(", ");
+                        let build = gen_serialize_named_fields(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {bindings} }} => {{\n{build}\
+                             serializer.serialize_value(::serde::Value::Object(vec![(\
+                             \"{vname}\".to_string(), ::serde::Value::Object(__fields))]))\n}}\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => serializer.serialize_value(\
+                         ::serde::Value::Object(vec![(\"{vname}\".to_string(), \
+                         ::serde::to_value(__f0).map_err({SER_ERR})?)])),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let bindings =
+                            (0..*arity).map(|i| format!("__f{i}")).collect::<Vec<_>>().join(", ");
+                        let pushes = (0..*arity)
+                            .map(|i| {
+                                format!(
+                                    "__items.push(::serde::to_value(__f{i})\
+                                     .map_err({SER_ERR})?);"
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join("\n");
+                        arms.push_str(&format!(
+                            "{name}::{vname}({bindings}) => {{\n\
+                             let mut __items: ::std::vec::Vec<::serde::Value> = \
+                             ::std::vec::Vec::new();\n{pushes}\n\
+                             serializer.serialize_value(::serde::Value::Object(vec![(\
+                             \"{vname}\".to_string(), ::serde::Value::Array(__items))]))\n}}\n"
+                        ));
+                    }
+                }
+            }
+            (name, format!("match self {{\n{arms}}}"))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::ser::Serialize for {name} {{\n\
+         fn serialize<S: ::serde::ser::Serializer>(&self, serializer: S) \
+         -> ::std::result::Result<S::Ok, S::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let extract = gen_deserialize_named_fields(fields, name);
+            let init = field_init_list(fields);
+            let body = format!(
+                "let __value = deserializer.take_value()?;\n\
+                 let mut __obj = match __value {{\n\
+                 ::serde::Value::Object(pairs) => pairs,\n\
+                 other => return ::std::result::Result::Err({DE_ERR}(\
+                 format!(\"expected object for `{name}`, got {{}}\", other.kind()))),\n\
+                 }};\n\
+                 {extract}\
+                 let _ = &mut __obj;\n\
+                 ::std::result::Result::Ok({name} {{ {init} }})"
+            );
+            (name, body)
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            let body = format!(
+                "let __value = deserializer.take_value()?;\n\
+                 ::std::result::Result::Ok({name}(::serde::from_value(__value)\
+                 .map_err(|e| {DE_ERR}(format!(\"in `{name}`: {{e}}\")))?))"
+            );
+            (name, body)
+        }
+        Item::TupleStruct { name, arity } => {
+            let extracts = (0..*arity)
+                .map(|i| {
+                    format!(
+                        "let __field_{i} = ::serde::from_value(__items.next()\
+                         .ok_or_else(|| {DE_ERR}(\"tuple too short for `{name}`\"))?)\
+                         .map_err(|e| {DE_ERR}(format!(\"element {i} of `{name}`: {{e}}\")))?;"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            let init = (0..*arity).map(|i| format!("__field_{i}")).collect::<Vec<_>>().join(", ");
+            let body = format!(
+                "let __value = deserializer.take_value()?;\n\
+                 let __items = match __value {{\n\
+                 ::serde::Value::Array(items) => items,\n\
+                 other => return ::std::result::Result::Err({DE_ERR}(\
+                 format!(\"expected array for `{name}`, got {{}}\", other.kind()))),\n\
+                 }};\n\
+                 let mut __items = __items.into_iter();\n\
+                 {extracts}\n\
+                 ::std::result::Result::Ok({name}({init}))"
+            );
+            (name, body)
+        }
+        Item::UnitStruct { name } => {
+            let body = format!("deserializer.take_value()?;\n::std::result::Result::Ok({name})");
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let label = format!("{name}::{vname}");
+                        let extract = gen_deserialize_named_fields(fields, &label);
+                        let init = field_init_list(fields);
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let mut __obj = match __content {{\n\
+                             ::serde::Value::Object(pairs) => pairs,\n\
+                             other => return ::std::result::Result::Err({DE_ERR}(\
+                             format!(\"expected object for `{name}::{vname}`, got {{}}\", \
+                             other.kind()))),\n\
+                             }};\n\
+                             {extract}\
+                             let _ = &mut __obj;\n\
+                             ::std::result::Result::Ok({name}::{vname} {{ {init} }})\n}}\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::from_value(__content).map_err(|e| {DE_ERR}(\
+                             format!(\"in `{name}::{vname}`: {{e}}\")))?)),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let extracts = (0..*arity)
+                            .map(|i| {
+                                format!(
+                                    "let __field_{i} = ::serde::from_value(__items.next()\
+                                     .ok_or_else(|| {DE_ERR}(\
+                                     \"tuple too short for `{name}::{vname}`\"))?)\
+                                     .map_err(|e| {DE_ERR}(\
+                                     format!(\"element {i} of `{name}::{vname}`: {{e}}\")))?;"
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join("\n");
+                        let init = (0..*arity)
+                            .map(|i| format!("__field_{i}"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let __items = match __content {{\n\
+                             ::serde::Value::Array(items) => items,\n\
+                             other => return ::std::result::Result::Err({DE_ERR}(\
+                             format!(\"expected array for `{name}::{vname}`, got {{}}\", \
+                             other.kind()))),\n\
+                             }};\n\
+                             let mut __items = __items.into_iter();\n\
+                             {extracts}\n\
+                             ::std::result::Result::Ok({name}::{vname}({init}))\n}}\n"
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "let __value = deserializer.take_value()?;\n\
+                 match __value {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::std::result::Result::Err({DE_ERR}(\
+                 format!(\"unknown variant `{{other}}` of `{name}`\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                 let (__tag, __content) = pairs.into_iter().next().expect(\"len checked\");\n\
+                 match __tag.as_str() {{\n\
+                 {tagged_arms}\
+                 other => ::std::result::Result::Err({DE_ERR}(\
+                 format!(\"unknown variant `{{other}}` of `{name}`\"))),\n\
+                 }}\n\
+                 }}\n\
+                 other => ::std::result::Result::Err({DE_ERR}(\
+                 format!(\"expected enum `{name}`, got {{}}\", other.kind()))),\n\
+                 }}"
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+         fn deserialize<D: ::serde::de::Deserializer<'de>>(deserializer: D) \
+         -> ::std::result::Result<Self, D::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------
+
+/// Derives the stub `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item).parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives the stub `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+}
