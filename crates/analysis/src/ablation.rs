@@ -50,8 +50,12 @@ pub fn beta_sweep(params: Params, points: usize, measure: bool) -> Result<BetaAb
     let beta_star = ratio::optimal_beta(params)?;
     let lo = 1.0 + 0.25 * (beta_star - 1.0);
     let hi = 1.0 + 4.0 * (beta_star - 1.0);
-    let mut samples = Vec::with_capacity(points);
-    for beta in numeric::logspace(lo - 1.0, hi - 1.0, points)?.into_iter().map(|d| 1.0 + d) {
+    let betas: Vec<f64> =
+        numeric::logspace(lo - 1.0, hi - 1.0, points)?.into_iter().map(|d| 1.0 + d).collect();
+    // Measurement cost rises with beta (larger cones → longer horizons),
+    // so the sweep runs on the work-stealing engine rather than in
+    // contiguous per-core chunks.
+    let samples: Vec<BetaSample> = crate::parallel::par_map(&betas, |&beta| {
         let analytic = ratio::cr_of_beta(params, beta)?;
         let measured = if measure {
             let strategy = FixedBetaStrategy::new(beta)?;
@@ -59,8 +63,10 @@ pub fn beta_sweep(params: Params, points: usize, measure: bool) -> Result<BetaAb
         } else {
             None
         };
-        samples.push(BetaSample { beta, analytic, measured });
-    }
+        Ok(BetaSample { beta, analytic, measured })
+    })
+    .into_iter()
+    .collect::<Result<_>>()?;
     Ok(BetaAblation {
         n: params.n(),
         f: params.f(),

@@ -1,21 +1,7 @@
-//! Parallel parameter sweeps built on crossbeam scoped threads.
+//! Parallel parameter sweeps built on the work-stealing engine.
 //!
 //! The implementation moved to [`faultline_core::parallel`] so the
 //! simulator's fault-space explorer can share it; this module re-exports
 //! it under the historical path.
 
-pub use faultline_core::parallel::par_map;
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn reexport_preserves_order() {
-        let items: Vec<u64> = (0..100).collect();
-        let doubled = par_map(&items, |&x| x * 2);
-        for (i, v) in doubled.iter().enumerate() {
-            assert_eq!(*v, 2 * i as u64);
-        }
-    }
-}
+pub use faultline_core::parallel::{par_map, par_map_chunked, par_map_with, ParallelConfig};

@@ -3,12 +3,12 @@
 //! independently, via the discrete-event simulator.
 
 use faultline_core::coverage::{adversarial_targets, Fleet};
-use faultline_core::{Params, Result};
+use faultline_core::{json_float, Params, Result};
 use faultline_strategies::Strategy;
 use serde::{Deserialize, Serialize};
 
 /// The outcome of an empirical competitive-ratio measurement.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MeasuredCr {
     /// The strategy's claimed analytic ratio, when it has one.
     pub analytic: Option<f64>,
@@ -20,6 +20,47 @@ pub struct MeasuredCr {
     /// (non-zero means the strategy's coverage is incomplete and
     /// `empirical` is infinite).
     pub uncovered: usize,
+}
+
+// Manual serde impls: `empirical` is `f64::INFINITY` whenever coverage
+// is incomplete, which a derived impl would write as lossy JSON `null`.
+impl Serialize for MeasuredCr {
+    fn serialize<S: serde::Serializer>(
+        &self,
+        serializer: S,
+    ) -> std::result::Result<S::Ok, S::Error> {
+        use serde::ser::Error as _;
+        serializer.serialize_value(serde::Value::Object(vec![
+            ("analytic".to_owned(), serde::to_value(&self.analytic).map_err(S::Error::custom)?),
+            ("empirical".to_owned(), json_float::encode_f64(self.empirical)),
+            ("argmax".to_owned(), json_float::encode_f64(self.argmax)),
+            ("uncovered".to_owned(), serde::Value::UInt(self.uncovered as u64)),
+        ]))
+    }
+}
+
+impl<'de> Deserialize<'de> for MeasuredCr {
+    fn deserialize<D: serde::Deserializer<'de>>(
+        deserializer: D,
+    ) -> std::result::Result<Self, D::Error> {
+        use serde::de::Error as _;
+        let mut fields = json_float::object_fields(deserializer.take_value()?, "MeasuredCr")
+            .map_err(D::Error::custom)?;
+        let mut take = |name: &str| {
+            json_float::take_field(&mut fields, name, "MeasuredCr").map_err(D::Error::custom)
+        };
+        let analytic = serde::from_value(take("analytic")?).map_err(D::Error::custom)?;
+        let empirical_raw = take("empirical")?;
+        let argmax_raw = take("argmax")?;
+        let uncovered = serde::from_value(take("uncovered")?).map_err(D::Error::custom)?;
+        Ok(MeasuredCr {
+            analytic,
+            empirical: json_float::decode_f64(&empirical_raw, "empirical")
+                .map_err(D::Error::custom)?,
+            argmax: json_float::decode_f64(&argmax_raw, "argmax").map_err(D::Error::custom)?,
+            uncovered,
+        })
+    }
 }
 
 /// Relative offset used to probe the right-hand limits at turning
@@ -39,6 +80,36 @@ pub fn fleet_targets(fleet: &Fleet, xmax: f64, grid_points: usize) -> Result<Vec
     adversarial_targets(&turning, xmax, grid_points, TURNING_POINT_EPS)
 }
 
+/// Materializes a strategy's fleet together with the adversarial
+/// target grid, guaranteeing the horizon covers every grid target.
+///
+/// The grid contains right-hand limits `m * (1 + eps)` for turning
+/// points `m` up to `xmax`, so the horizon is requested for the
+/// *actual* extreme target of the materialized grid (padded by another
+/// `2 * eps`), not just for `xmax` itself; if that exceeds the probe
+/// horizon the fleet is re-materialized. This closes the boundary gap
+/// where the target at the largest turning point's right-hand limit
+/// could fall outside the horizon a strategy sizes for `xmax` alone.
+fn materialize_with_targets(
+    strategy: &dyn Strategy,
+    params: Params,
+    xmax: f64,
+    grid_points: usize,
+) -> Result<(Fleet, Vec<f64>)> {
+    let plans = strategy.plans(params)?;
+    let probe = strategy.horizon_hint(params, xmax * (1.0 + 2.0 * TURNING_POINT_EPS));
+    let fleet = Fleet::from_plans(&plans, probe)?;
+    let targets = fleet_targets(&fleet, xmax, grid_points)?;
+    let reach = targets.iter().fold(xmax, |acc, &t| acc.max(t.abs()));
+    let needed = strategy.horizon_hint(params, reach * (1.0 + 2.0 * TURNING_POINT_EPS));
+    let fleet = if needed > fleet.horizon() { Fleet::from_plans(&plans, needed)? } else { fleet };
+    debug_assert!(
+        reach * (1.0 + TURNING_POINT_EPS) <= reach * (1.0 + 2.0 * TURNING_POINT_EPS),
+        "grid reach must stay inside the padded horizon request"
+    );
+    Ok((fleet, targets))
+}
+
 /// Measures the competitive ratio of a strategy for `params` by
 /// scanning `K(x) = T_(f+1)(x)/|x|` over the adversarial grid up to
 /// `xmax`, using the analytic coverage path.
@@ -52,10 +123,7 @@ pub fn measure_strategy_cr(
     xmax: f64,
     grid_points: usize,
 ) -> Result<MeasuredCr> {
-    let plans = strategy.plans(params)?;
-    let horizon = strategy.horizon_hint(params, xmax * (1.0 + 2.0 * TURNING_POINT_EPS));
-    let fleet = Fleet::from_plans(&plans, horizon)?;
-    let targets = fleet_targets(&fleet, xmax, grid_points)?;
+    let (fleet, targets) = materialize_with_targets(strategy, params, xmax, grid_points)?;
     let scan = fleet.supremum(&targets, params.required_visits())?;
     Ok(MeasuredCr {
         analytic: strategy.analytic_cr(params),
@@ -79,9 +147,8 @@ pub fn measure_strategy_cr_sim(
     grid_points: usize,
 ) -> Result<MeasuredCr> {
     let plans = strategy.plans(params)?;
-    let horizon = strategy.horizon_hint(params, xmax * (1.0 + 2.0 * TURNING_POINT_EPS));
-    let fleet = Fleet::from_plans(&plans, horizon)?;
-    let targets = fleet_targets(&fleet, xmax, grid_points)?;
+    let (fleet, targets) = materialize_with_targets(strategy, params, xmax, grid_points)?;
+    let horizon = fleet.horizon();
     let result = faultline_sim::empirical_competitive_ratio(&plans, params.f(), &targets, horizon)?;
     Ok(MeasuredCr {
         analytic: strategy.analytic_cr(params),
@@ -134,6 +201,47 @@ mod tests {
         assert_eq!(m.uncovered, 0);
         assert!(m.empirical <= 9.0 + 1e-9);
         assert!(m.empirical > 8.5, "worst case approaches 9, got {}", m.empirical);
+    }
+
+    #[test]
+    fn boundary_target_at_largest_turning_point_stays_covered() {
+        // Pin xmax exactly at a turning position of the materialized
+        // schedule, so the adversarial grid contains the right-hand
+        // limit `xmax * (1 + eps)` — the target historically most at
+        // risk of falling outside a horizon sized for `xmax` alone.
+        let params = Params::new(3, 2).unwrap();
+        let strategy = PaperStrategy::new();
+        let plans = strategy.plans(params).unwrap();
+        let probe = strategy.horizon_hint(params, 64.0);
+        let fleet = Fleet::from_plans(&plans, probe).unwrap();
+        let xmax = fleet
+            .trajectories()
+            .iter()
+            .flat_map(faultline_core::PiecewiseTrajectory::turning_points)
+            .map(|p| p.x.abs())
+            .filter(|&m| m > 1.0 && m <= 50.0)
+            .fold(0.0f64, f64::max);
+        assert!(xmax > 1.0, "schedule must turn beyond 1 within the probe window");
+        let m = measure_strategy_cr(&strategy, params, xmax, 16).unwrap();
+        assert_eq!(
+            m.uncovered, 0,
+            "right-hand-limit target at the largest turning point ({xmax}) \
+             fell outside the materialized horizon"
+        );
+        assert!(m.empirical.is_finite());
+        let s = measure_strategy_cr_sim(&strategy, params, xmax, 16).unwrap();
+        assert_eq!(s.uncovered, 0);
+    }
+
+    #[test]
+    fn infinite_measurement_roundtrips_losslessly() {
+        let params = Params::new(3, 1).unwrap();
+        let m = measure_strategy_cr(&PessimalSplitStrategy::new(), params, 10.0, 20).unwrap();
+        assert!(m.empirical.is_infinite());
+        let json = serde_json::to_string_pretty(&m).unwrap();
+        assert!(json.contains("\"inf\""), "non-finite ratio must use the sentinel: {json}");
+        let back: MeasuredCr = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
     }
 
     #[test]

@@ -99,11 +99,18 @@ pub fn regenerate_row(n: usize, f: usize, measure: bool) -> Result<Table1Row> {
 
 /// Regenerates the full Table 1.
 ///
+/// Rows are measured in parallel on the work-stealing engine: the
+/// per-row cost grows with `n` (the `(41, 20)` scan dominates), so
+/// contiguous chunking would strand the expensive tail rows on one
+/// worker.
+///
 /// # Errors
 ///
 /// Propagates row failures.
 pub fn regenerate(measure: bool) -> Result<Vec<Table1Row>> {
-    TABLE1_PAIRS.iter().map(|&(n, f)| regenerate_row(n, f, measure)).collect()
+    crate::parallel::par_map(TABLE1_PAIRS, |&(n, f)| regenerate_row(n, f, measure))
+        .into_iter()
+        .collect()
 }
 
 /// Renders regenerated rows next to the paper's printed values.

@@ -1,0 +1,40 @@
+//! Benchmark: the work-stealing parallel engine vs the legacy
+//! contiguous chunking on a tail-heavy (cost-skewed) workload, plus
+//! the serial floor for reference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use faultline_bench::baseline::{skewed_cpu_items, skewed_work};
+use faultline_core::{par_map_chunked, par_map_with, ParallelConfig};
+use std::hint::black_box;
+
+const THREADS: usize = 4;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    let items = skewed_cpu_items(1_024);
+
+    group.bench_function("skewed_serial", |b| {
+        b.iter(|| {
+            let out: Vec<u64> = items.iter().map(|&v| skewed_work(v)).collect();
+            black_box(out)
+        });
+    });
+
+    group.bench_function("skewed_chunked_4t", |b| {
+        b.iter(|| black_box(par_map_chunked(&items, THREADS, |&v| skewed_work(v))));
+    });
+
+    group.bench_function("skewed_stealing_4t", |b| {
+        let config = ParallelConfig::with_threads(THREADS);
+        b.iter(|| black_box(par_map_with(&items, &config, |&v| skewed_work(v))));
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_engine
+}
+criterion_main!(benches);

@@ -1,0 +1,357 @@
+//! The perf-baseline emitter: times the canonical workloads on the
+//! work-stealing engine, compares it against the legacy contiguous
+//! chunking on a skewed workload, and writes a machine-readable JSON
+//! document (`BENCH_<date>.json`) so every future change can diff
+//! against the recorded trajectory.
+//!
+//! Three canonical workloads are timed:
+//!
+//! 1. **Table-1 supremum scan** — the empirical `sup K(x)` measurement
+//!    over the paper's `(n, f)` grid.
+//! 2. **Exhaustive mask exploration** — every `C(n, f)` fault mask for
+//!    the Table-1 pairs with `n <= 5` (PR 1's explorer).
+//! 3. **Monte-Carlo sweep** — a 10k-sample random-fault sweep of
+//!    `A(5, 2)` (1k in `--quick` mode).
+//!
+//! The engine comparison runs the same skewed workload through the
+//! work-stealing scheduler and the legacy one-contiguous-chunk-per-core
+//! scheduler with four worker threads. Two variants are recorded: a
+//! CPU-bound one (meaningful on multi-core hosts) and a latency-bound
+//! one built from sleeps, whose wall-clock win is observable on any
+//! host because sleeping threads overlap even on a single core.
+
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use faultline_analysis::{measure_strategy_cr, table1};
+use faultline_core::{par_map_chunked, par_map_with, ParallelConfig, Params};
+use faultline_sim::{
+    explore_fault_space, run_sweep_ratios_seeded, BernoulliFaults, ExplorerConfig,
+    MonteCarloConfig, RatioStats, Target,
+};
+use faultline_strategies::{PaperStrategy, Strategy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Hardware and configuration context a timing is only meaningful
+/// against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostInfo {
+    /// Logical cores reported by the OS.
+    pub logical_cores: usize,
+    /// Default worker-thread count the engine resolves on this host
+    /// (after the `FAULTLINE_THREADS` override, if set).
+    pub default_threads: usize,
+    /// Operating system family.
+    pub os: String,
+    /// CPU architecture.
+    pub arch: String,
+}
+
+/// Wall-clock timing of one canonical workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadTiming {
+    /// Stable workload identifier (diff key across baselines).
+    pub name: String,
+    /// Wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Human-readable description of what was run.
+    pub detail: String,
+}
+
+/// Work-stealing vs legacy contiguous chunking on a skewed workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineComparison {
+    /// Stable comparison identifier.
+    pub name: String,
+    /// Worker threads used by both schedulers.
+    pub threads: usize,
+    /// Number of items mapped.
+    pub items: usize,
+    /// Wall-clock milliseconds for the legacy contiguous chunking.
+    pub chunked_ms: f64,
+    /// Wall-clock milliseconds for the work-stealing engine.
+    pub stealing_ms: f64,
+    /// `chunked_ms / stealing_ms` — above 1 means work-stealing wins.
+    pub speedup: f64,
+}
+
+/// The complete perf baseline written to `BENCH_<date>.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchBaseline {
+    /// Workspace version the baseline was recorded with.
+    pub version: String,
+    /// UTC date of the run (`YYYY-MM-DD`).
+    pub date: String,
+    /// Whether the reduced `--quick` workloads were used.
+    pub quick: bool,
+    /// Host context.
+    pub host: HostInfo,
+    /// Canonical workload timings.
+    pub workloads: Vec<WorkloadTiming>,
+    /// Engine comparisons on skewed workloads.
+    pub engine: Vec<EngineComparison>,
+}
+
+/// UTC date of `now`, without a calendar dependency (civil-from-days,
+/// Howard Hinnant's algorithm).
+#[must_use]
+pub fn utc_date() -> String {
+    let secs = SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_secs());
+    let days = (secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let year = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = if month <= 2 { year + 1 } else { year };
+    format!("{year:04}-{month:02}-{day:02}")
+}
+
+fn time_ms(f: impl FnOnce()) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn table1_scan(quick: bool) -> Result<WorkloadTiming, Box<dyn std::error::Error>> {
+    let (wall_ms, detail) = if quick {
+        let pairs: &[(usize, usize)] = &[(2, 1), (3, 1), (4, 2), (5, 3)];
+        let mut err = None;
+        let wall = time_ms(|| {
+            for &(n, f) in pairs {
+                let result = Params::new(n, f)
+                    .and_then(|p| measure_strategy_cr(&PaperStrategy::new(), p, 16.0, 32));
+                if let Err(e) = result {
+                    err = Some(e);
+                    return;
+                }
+            }
+        });
+        if let Some(e) = err {
+            return Err(e.into());
+        }
+        (wall, format!("supremum scan of {} small Table-1 rows (xmax 16, 32 grid)", pairs.len()))
+    } else {
+        let mut result = Ok(Vec::new());
+        let wall = time_ms(|| result = table1::regenerate(true));
+        result?;
+        (wall, "full Table-1 regeneration with empirical supremum scans".to_owned())
+    };
+    Ok(WorkloadTiming { name: "table1_supremum_scan".to_owned(), wall_ms, detail })
+}
+
+fn mask_exploration(quick: bool) -> Result<WorkloadTiming, Box<dyn std::error::Error>> {
+    let pairs: &[(usize, usize)] = if quick {
+        &[(2, 1), (3, 1), (4, 2)]
+    } else {
+        &[(2, 1), (3, 1), (3, 2), (4, 2), (4, 3), (5, 2), (5, 3), (5, 4)]
+    };
+    let targets = [1.5, -2.5, 7.0];
+    let config = ExplorerConfig { seed: 0, ..ExplorerConfig::default() };
+    let mut err: Option<Box<dyn std::error::Error>> = None;
+    let wall_ms = time_ms(|| {
+        for &(n, f) in pairs {
+            let run = || -> Result<(), Box<dyn std::error::Error>> {
+                let params = Params::new(n, f)?;
+                let alg = faultline_core::Algorithm::design(params)?;
+                let horizon = alg.required_horizon(15.0)?;
+                let trajectories = alg
+                    .plans()
+                    .iter()
+                    .map(|p| p.materialize(horizon))
+                    .collect::<Result<Vec<_>, _>>()?;
+                for x in targets {
+                    explore_fault_space(&trajectories, Target::new(x)?, f, &config)?;
+                }
+                Ok(())
+            };
+            if let Err(e) = run() {
+                err = Some(e);
+                return;
+            }
+        }
+    });
+    if let Some(e) = err {
+        return Err(e);
+    }
+    Ok(WorkloadTiming {
+        name: "mask_exploration".to_owned(),
+        wall_ms,
+        detail: format!(
+            "exhaustive C(n, f) fault-mask exploration over {} pairs x {} targets",
+            pairs.len(),
+            targets.len()
+        ),
+    })
+}
+
+fn montecarlo_sweep(quick: bool) -> Result<WorkloadTiming, Box<dyn std::error::Error>> {
+    let samples = if quick { 1_000 } else { 10_000 };
+    let params = Params::new(5, 2)?;
+    let strategy = PaperStrategy::new();
+    let plans = strategy.plans(params)?;
+    let horizon = strategy.horizon_hint(params, 101.0);
+    let mut faults = BernoulliFaults::new(0.3, params.f(), StdRng::seed_from_u64(5))?;
+    let config = MonteCarloConfig::new(samples, 100.0)?;
+    let mut result = Ok(Vec::new());
+    let wall_ms = time_ms(|| {
+        result = run_sweep_ratios_seeded(&plans, &mut faults, config, horizon, 7);
+    });
+    let ratios = result?;
+    RatioStats::from_ratios(&ratios)?;
+    Ok(WorkloadTiming {
+        name: "montecarlo_sweep".to_owned(),
+        wall_ms,
+        detail: format!("{samples}-sample random-fault Monte-Carlo sweep of A(5, 2)"),
+    })
+}
+
+/// Deterministic busy work proportional to `cost`, used by the skewed
+/// CPU-bound engine comparison (shared with the criterion bench).
+#[must_use]
+pub fn skewed_work(cost: u64) -> u64 {
+    let mut acc = cost ^ 0x9e37_79b9_7f4a_7c15;
+    for i in 0..(cost * 24) {
+        acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(i);
+    }
+    acc
+}
+
+/// The tail-heavy item-cost vector of the CPU-bound comparison: linear
+/// cost growth, so the last contiguous chunk holds most of the work —
+/// the shape a supremum sweep over geometrically spaced targets has.
+#[must_use]
+pub fn skewed_cpu_items(items: usize) -> Vec<u64> {
+    (0..items as u64).collect()
+}
+
+const COMPARISON_THREADS: usize = 4;
+
+fn compare_engines_cpu(quick: bool) -> EngineComparison {
+    let items = skewed_cpu_items(if quick { 1_024 } else { 2_048 });
+    let config = ParallelConfig::with_threads(COMPARISON_THREADS);
+    let stealing_ms = time_ms(|| {
+        par_map_with(&items, &config, |&c| skewed_work(c));
+    });
+    let chunked_ms = time_ms(|| {
+        par_map_chunked(&items, COMPARISON_THREADS, |&c| skewed_work(c));
+    });
+    EngineComparison {
+        name: "skewed_cpu".to_owned(),
+        threads: COMPARISON_THREADS,
+        items: items.len(),
+        chunked_ms,
+        stealing_ms,
+        speedup: chunked_ms / stealing_ms,
+    }
+}
+
+fn compare_engines_latency() -> EngineComparison {
+    // Sleeps overlap regardless of core count, so this comparison
+    // demonstrates the scheduler property even on single-core CI.
+    let sleeps: Vec<u64> = (0..32).map(|i| if i >= 28 { 40 } else { 1 }).collect();
+    let config = ParallelConfig::with_threads(COMPARISON_THREADS).grain(1);
+    let sleep = |&ms: &u64| std::thread::sleep(std::time::Duration::from_millis(ms));
+    let stealing_ms = time_ms(|| {
+        par_map_with(&sleeps, &config, sleep);
+    });
+    let chunked_ms = time_ms(|| {
+        par_map_chunked(&sleeps, COMPARISON_THREADS, sleep);
+    });
+    EngineComparison {
+        name: "skewed_latency".to_owned(),
+        threads: COMPARISON_THREADS,
+        items: sleeps.len(),
+        chunked_ms,
+        stealing_ms,
+        speedup: chunked_ms / stealing_ms,
+    }
+}
+
+/// Runs every workload and comparison and assembles the baseline.
+///
+/// # Errors
+///
+/// Propagates failures from the underlying experiments.
+pub fn run_baseline(quick: bool) -> Result<BenchBaseline, Box<dyn std::error::Error>> {
+    let host = HostInfo {
+        logical_cores: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        default_threads: ParallelConfig::default().resolved_threads(),
+        os: std::env::consts::OS.to_owned(),
+        arch: std::env::consts::ARCH.to_owned(),
+    };
+    let workloads = vec![table1_scan(quick)?, mask_exploration(quick)?, montecarlo_sweep(quick)?];
+    let engine = vec![compare_engines_cpu(quick), compare_engines_latency()];
+    Ok(BenchBaseline {
+        version: crate::VERSION.to_owned(),
+        date: utc_date(),
+        quick,
+        host,
+        workloads,
+        engine,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utc_date_is_well_formed() {
+        let d = utc_date();
+        assert_eq!(d.len(), 10, "{d}");
+        assert_eq!(d.as_bytes()[4], b'-');
+        assert_eq!(d.as_bytes()[7], b'-');
+        let year: i32 = d[..4].parse().unwrap();
+        assert!(year >= 2024, "{d}");
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_json() {
+        let baseline = BenchBaseline {
+            version: "0.1.0".to_owned(),
+            date: "2026-08-06".to_owned(),
+            quick: true,
+            host: HostInfo {
+                logical_cores: 4,
+                default_threads: 4,
+                os: "linux".to_owned(),
+                arch: "x86_64".to_owned(),
+            },
+            workloads: vec![WorkloadTiming {
+                name: "table1_supremum_scan".to_owned(),
+                wall_ms: 12.5,
+                detail: "test".to_owned(),
+            }],
+            engine: vec![EngineComparison {
+                name: "skewed_latency".to_owned(),
+                threads: 4,
+                items: 32,
+                chunked_ms: 164.0,
+                stealing_ms: 47.0,
+                speedup: 164.0 / 47.0,
+            }],
+        };
+        let json = serde_json::to_string_pretty(&baseline).unwrap();
+        let back: BenchBaseline = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, baseline);
+    }
+
+    #[test]
+    fn latency_comparison_shows_the_stealing_win() {
+        let cmp = compare_engines_latency();
+        assert!(
+            cmp.speedup > 2.0,
+            "expected ≥ 2x on the sleep-skewed workload, got {:.2}x \
+             (chunked {:.1} ms vs stealing {:.1} ms)",
+            cmp.speedup,
+            cmp.chunked_ms,
+            cmp.stealing_ms
+        );
+    }
+}

@@ -9,6 +9,7 @@
 //! ```text
 //! repro [table1|fig5|figures|ablation|lower-bound|montecarlo|explore|all] [--fast] [--seed=N]
 //! repro replay <trace.json>
+//! repro bench [--quick] [--out=PATH]
 //! ```
 //!
 //! `--seed=N` re-seeds the Monte-Carlo section (fault stream `N`,
@@ -36,6 +37,9 @@ mod rand_free {
     pub fn main_impl() -> Result<(), Box<dyn std::error::Error>> {
         let args: Vec<String> = std::env::args().skip(1).collect();
         let fast = args.iter().any(|a| a == "--fast");
+        let quick = args.iter().any(|a| a == "--quick");
+        let bench_out: Option<String> =
+            args.iter().find_map(|a| a.strip_prefix("--out=")).map(str::to_owned);
         let seed: Option<u64> = args
             .iter()
             .find_map(|a| a.strip_prefix("--seed="))
@@ -68,6 +72,7 @@ mod rand_free {
                 let path = operand.ok_or("replay needs a trace file: repro replay <trace.json>")?;
                 run_replay(path)?;
             }
+            "bench" => run_bench(quick, bench_out.as_deref())?,
             "all" => {
                 run_table1(out_dir, fast)?;
                 run_fig5(out_dir, fast)?;
@@ -84,7 +89,7 @@ mod rand_free {
                 eprintln!(
                     "unknown command `{other}`; expected table1 | fig5 | figures | ablation | \
                      lower-bound | montecarlo | extensions | verify | certify | explore | \
-                     replay <trace.json> | all"
+                     replay <trace.json> | bench | all"
                 );
                 std::process::exit(2);
             }
@@ -517,6 +522,52 @@ fn run_explore(out_dir: &Path, fast: bool, seed: u64) -> Result<(), Box<dyn std:
         .into());
     }
     println!("adversary-dominance invariant holds across every explored fault space.\n");
+    Ok(())
+}
+
+fn run_bench(quick: bool, out: Option<&str>) -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Perf baseline: canonical workloads + engine comparison ==");
+    if quick {
+        println!("(--quick: reduced workloads, suitable for CI smoke)");
+    }
+    let baseline = faultline_bench::run_baseline(quick)?;
+    println!(
+        "host: {} cores ({}, {}), default engine threads {}",
+        baseline.host.logical_cores,
+        baseline.host.os,
+        baseline.host.arch,
+        baseline.host.default_threads
+    );
+    let rows: Vec<Vec<String>> = baseline
+        .workloads
+        .iter()
+        .map(|w| vec![w.name.clone(), format!("{:.1}", w.wall_ms), w.detail.clone()])
+        .collect();
+    print!("{}", render_table(&["workload", "wall ms", "detail"], &rows));
+    let rows: Vec<Vec<String>> = baseline
+        .engine
+        .iter()
+        .map(|e| {
+            vec![
+                e.name.clone(),
+                e.threads.to_string(),
+                e.items.to_string(),
+                format!("{:.1}", e.chunked_ms),
+                format!("{:.1}", e.stealing_ms),
+                format!("{:.2}x", e.speedup),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["comparison", "threads", "items", "chunked ms", "stealing ms", "speedup"],
+            &rows
+        )
+    );
+    let path = out.map_or_else(|| format!("BENCH_{}.json", baseline.date), str::to_owned);
+    fs::write(&path, serde_json::to_string_pretty(&baseline)? + "\n")?;
+    println!("(baseline written to {path})\n");
     Ok(())
 }
 

@@ -7,5 +7,9 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod baseline;
+
+pub use baseline::{run_baseline, BenchBaseline, EngineComparison, HostInfo, WorkloadTiming};
+
 /// Workspace version, re-exported for the harness banner.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

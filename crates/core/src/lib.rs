@@ -64,6 +64,7 @@ pub mod cone;
 pub mod coverage;
 pub mod error;
 pub mod interval;
+pub mod json_float;
 pub mod lower_bound;
 pub mod numeric;
 pub mod parallel;
@@ -85,7 +86,7 @@ pub use cone::Cone;
 pub use coverage::Fleet;
 pub use error::{Error, Result};
 pub use interval::Interval;
-pub use parallel::par_map;
+pub use parallel::{par_map, par_map_chunked, par_map_with, ParallelConfig};
 pub use params::{Params, Regime};
 pub use plan::{Direction, IdlePlan, RayPlan, TrajectoryPlan, WaypointCyclePlan};
 pub use schedule::ProportionalSchedule;

@@ -74,6 +74,28 @@ fn result_records_roundtrip() {
 }
 
 #[test]
+fn infinite_scan_roundtrips_losslessly() {
+    // Incomplete coverage legitimately produces an infinite ratio; the
+    // JSON encoding must preserve it (the sentinel `"inf"`) instead of
+    // collapsing it to `null` and failing the round-trip.
+    let scan = SupremumScan { ratio: f64::INFINITY, argmax: 7.0, uncovered: 3 };
+    let json = serde_json::to_string(&scan).expect("serialize");
+    assert!(json.contains("\"inf\""), "expected sentinel in: {json}");
+    assert!(!json.contains("null"), "lossy null encoding in: {json}");
+    assert_eq!(roundtrip(&scan), scan);
+
+    let neg = SupremumScan { ratio: f64::NEG_INFINITY, argmax: -1.0, uncovered: 1 };
+    assert_eq!(roundtrip(&neg), neg);
+}
+
+#[test]
+fn legacy_null_ratio_is_rejected_with_diagnostic() {
+    let legacy = "{\"ratio\": null, \"argmax\": 7.0, \"uncovered\": 3}";
+    let err = serde_json::from_str::<SupremumScan>(legacy).expect_err("null must not parse");
+    assert!(err.to_string().contains("non-finite"), "unhelpful error: {err}");
+}
+
+#[test]
 fn invalid_json_is_rejected() {
     assert!(serde_json::from_str::<SpaceTime>("{\"x\": 1.0}").is_err());
     assert!(serde_json::from_str::<Params>("{\"n\": 3}").is_err());

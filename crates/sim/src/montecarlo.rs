@@ -104,17 +104,25 @@ pub fn run_sweep_ratios<R: Rng>(
 ) -> Result<Vec<f64>> {
     let trajectories: Vec<PiecewiseTrajectory> =
         plans.iter().map(|p| p.materialize(horizon)).collect::<Result<_>>()?;
-    let mut ratios = Vec::with_capacity(config.samples);
+    // Every sample's target and fault mask is drawn serially first, in
+    // the exact order the historical serial loop used, so a given RNG
+    // stream produces identical draws. The simulations themselves are
+    // deterministic and run on the work-stealing engine.
+    let mut draws = Vec::with_capacity(config.samples);
     for _ in 0..config.samples {
         let magnitude = (rng.random_range(0.0..config.xmax.ln())).exp();
         let side = if rng.random_bool(0.5) { 1.0 } else { -1.0 };
         let target = Target::new(side * magnitude.max(1.0))?;
         let mask = faults.assign(trajectories.len());
-        let outcome =
-            Simulation::new(trajectories.clone(), target, &mask, SimConfig::default())?.run();
-        ratios.push(outcome.ratio());
+        draws.push((target, mask));
     }
-    Ok(ratios)
+    faultline_core::par_map(&draws, |(target, mask)| {
+        Ok(Simulation::new(trajectories.clone(), *target, mask, SimConfig::default())?
+            .run()
+            .ratio())
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Runs a Monte-Carlo sweep and summarizes the achieved ratios (see

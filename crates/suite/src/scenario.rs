@@ -22,7 +22,7 @@
 //! expected: [`run_document`] detects the document kind, re-executes a
 //! trace bit-for-bit, and reports it in the same result format.
 
-use faultline_core::{Error, Params, Result, TrajectoryPlan};
+use faultline_core::{json_float, Error, Params, Result, TrajectoryPlan};
 use faultline_sim::engine::SimConfig;
 use faultline_sim::{worst_case_outcome, FaultMask, RunTrace, SearchOutcome, Simulation, Target};
 use faultline_strategies::{strategy_by_name, FixedBetaStrategy, Strategy};
@@ -53,7 +53,7 @@ fn default_strategy() -> String {
 }
 
 /// The result of one scenario target.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioResult {
     /// The target searched for.
     pub target: f64,
@@ -65,6 +65,60 @@ pub struct ScenarioResult {
     pub detected_by: Option<usize>,
     /// Distinct robots that visited the target up to detection.
     pub distinct_visitors: usize,
+}
+
+// Manual serde impls: `ratio` is infinite for undetected targets; a
+// derived impl would serialize that as JSON `null`, making honest
+// "undetected" results indistinguishable from missing data after a
+// round-trip. Non-finite ratios use the `faultline_core::json_float`
+// string sentinels instead.
+impl Serialize for ScenarioResult {
+    fn serialize<S: serde::Serializer>(
+        &self,
+        serializer: S,
+    ) -> std::result::Result<S::Ok, S::Error> {
+        use serde::ser::Error as _;
+        serializer.serialize_value(serde::Value::Object(vec![
+            ("target".to_owned(), json_float::encode_f64(self.target)),
+            (
+                "detection_time".to_owned(),
+                serde::to_value(&self.detection_time).map_err(S::Error::custom)?,
+            ),
+            ("ratio".to_owned(), json_float::encode_f64(self.ratio)),
+            (
+                "detected_by".to_owned(),
+                serde::to_value(&self.detected_by).map_err(S::Error::custom)?,
+            ),
+            ("distinct_visitors".to_owned(), serde::Value::UInt(self.distinct_visitors as u64)),
+        ]))
+    }
+}
+
+impl<'de> Deserialize<'de> for ScenarioResult {
+    fn deserialize<D: serde::Deserializer<'de>>(
+        deserializer: D,
+    ) -> std::result::Result<Self, D::Error> {
+        use serde::de::Error as _;
+        let mut fields = json_float::object_fields(deserializer.take_value()?, "ScenarioResult")
+            .map_err(D::Error::custom)?;
+        let mut take = |name: &str| {
+            json_float::take_field(&mut fields, name, "ScenarioResult").map_err(D::Error::custom)
+        };
+        let target_raw = take("target")?;
+        let detection_time =
+            serde::from_value(take("detection_time")?).map_err(D::Error::custom)?;
+        let ratio_raw = take("ratio")?;
+        let detected_by = serde::from_value(take("detected_by")?).map_err(D::Error::custom)?;
+        let distinct_visitors =
+            serde::from_value(take("distinct_visitors")?).map_err(D::Error::custom)?;
+        Ok(ScenarioResult {
+            target: json_float::decode_f64(&target_raw, "target").map_err(D::Error::custom)?,
+            detection_time,
+            ratio: json_float::decode_f64(&ratio_raw, "ratio").map_err(D::Error::custom)?,
+            detected_by,
+            distinct_visitors,
+        })
+    }
 }
 
 impl ScenarioResult {
@@ -332,5 +386,21 @@ mod tests {
         assert!(json.contains("\"target\": 2.0"));
         let back: Vec<ScenarioResult> = serde_json::from_str(&json).unwrap();
         assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn infinite_ratio_roundtrips_losslessly() {
+        // An undetected target yields an infinite ratio; the JSON
+        // encoding must preserve it instead of collapsing to `null`.
+        let s = Scenario::from_json(
+            r#"{"n": 3, "f": 1, "strategy": "pessimal-split", "targets": [-5.0]}"#,
+        )
+        .unwrap();
+        let results = s.run().unwrap();
+        assert!(results[0].ratio.is_infinite());
+        let json = results_to_json(&results).unwrap();
+        assert!(json.contains("\"inf\""), "expected the sentinel in: {json}");
+        let back: Vec<ScenarioResult> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, results);
     }
 }
