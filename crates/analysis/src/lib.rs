@@ -10,7 +10,10 @@
 //! * [`figures`] — data generators for the illustrative Figures 1–4,
 //!   6, 7 (CSV and SVG export).
 //! * [`supremum`] — empirical competitive-ratio measurement through two
-//!   independent paths (analytic coverage and the event simulator).
+//!   independent paths (analytic coverage and the event simulator),
+//!   plus the typed [`SupremumQuery`] request form.
+//! * [`scenario`] — declarative JSON scenario documents, runnable from
+//!   the CLI, the query service or programmatically.
 //! * [`ablation`] — the beta-sweep and fault-misestimation ablations.
 //! * [`ascii`] / [`svg`] — terminal tables/charts and SVG space–time
 //!   diagrams.
@@ -33,6 +36,7 @@ pub mod group_search;
 pub mod parallel;
 pub mod randomized;
 pub mod report;
+pub mod scenario;
 pub mod supremum;
 pub mod svg;
 pub mod table1;
@@ -43,5 +47,9 @@ pub mod verification;
 pub use ascii::{line_chart, render_table, Series};
 pub use figures::FigureData;
 pub use report::{Comparison, ExperimentReport};
-pub use supremum::{measure_strategy_cr, measure_strategy_cr_sim, MeasuredCr};
+pub use scenario::{run_document, Scenario, ScenarioResult};
+pub use supremum::{
+    measure_strategy_cr, measure_strategy_cr_sim, resolve_strategy, MeasuredCr, SupremumQuery,
+    SupremumReport,
+};
 pub use table1::Table1Row;

@@ -12,10 +12,13 @@
 //! }
 //! ```
 //!
-//! * `strategy` — any registry name (default `"paper"`), or
-//!   `"fixed-beta"` together with a `"beta"` field.
+//! * `strategy` — any registry name (default `"paper"`),
+//!   `"fixed-beta"` together with a `"beta"` field, or
+//!   `"randomized-sweep"` with an optional `"seed"` field.
 //! * `faulty` — explicit faulty robot indices; omit to use the
 //!   worst-case adversary per target.
+//! * `seed` — explicit RNG seed for `"randomized-sweep"` (default 0);
+//!   the same seed always reproduces the same coin flips.
 //!
 //! The CLI also accepts a recorded failure trace
 //! ([`faultline_sim::RunTrace`] JSON) wherever a scenario file is
@@ -25,7 +28,13 @@
 use faultline_core::{json_float, Error, Params, Result, TrajectoryPlan};
 use faultline_sim::engine::SimConfig;
 use faultline_sim::{worst_case_outcome, FaultMask, RunTrace, SearchOutcome, Simulation, Target};
-use faultline_strategies::{strategy_by_name, FixedBetaStrategy, Strategy};
+use faultline_strategies::{
+    strategy_by_name, RandomizedStrategy, RandomizedSweepStrategy, Strategy,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::supremum::resolve_strategy;
 use serde::{Deserialize, Serialize};
 
 /// A declarative scenario.
@@ -46,6 +55,10 @@ pub struct Scenario {
     /// Explicit faulty robots; `None` = worst-case adversary.
     #[serde(default)]
     pub faulty: Option<Vec<usize>>,
+    /// Explicit RNG seed, only for `strategy = "randomized-sweep"`
+    /// (defaults to 0 there).
+    #[serde(default)]
+    pub seed: Option<u64>,
 }
 
 fn default_strategy() -> String {
@@ -164,6 +177,13 @@ impl Scenario {
                     return Err(Error::domain("strategy \"fixed-beta\" requires a \"beta\" field"));
                 }
             }
+            "randomized-sweep" => {
+                if self.beta.is_some() {
+                    return Err(Error::domain(
+                        "\"beta\" is only meaningful with strategy \"fixed-beta\"",
+                    ));
+                }
+            }
             name => {
                 if strategy_by_name(name).is_none() {
                     return Err(Error::domain(format!("unknown strategy \"{name}\"")));
@@ -174,6 +194,11 @@ impl Scenario {
                     ));
                 }
             }
+        }
+        if self.seed.is_some() && self.strategy != "randomized-sweep" {
+            return Err(Error::domain(
+                "\"seed\" is only meaningful with strategy \"randomized-sweep\"",
+            ));
         }
         if let Some(faulty) = &self.faulty {
             if faulty.len() > self.f {
@@ -188,13 +213,27 @@ impl Scenario {
         Ok(())
     }
 
-    fn build_strategy(&self) -> Result<Box<dyn Strategy>> {
-        if self.strategy == "fixed-beta" {
-            let beta = self.beta.expect("validated");
-            return Ok(Box::new(FixedBetaStrategy::new(beta)?));
+    /// Generates the trajectory plans and a sufficient horizon for
+    /// targets up to `xmax`. Deterministic strategies come from the
+    /// registry; `"randomized-sweep"` draws its coins from the
+    /// scenario's explicit seed (default 0).
+    fn plans_and_horizon(
+        &self,
+        params: Params,
+        xmax: f64,
+    ) -> Result<(Vec<Box<dyn TrajectoryPlan>>, f64)> {
+        let reach = xmax * 1.01 + 1.0;
+        if self.strategy == "randomized-sweep" {
+            let sweep = RandomizedSweepStrategy::kao_optimal();
+            let mut rng = StdRng::seed_from_u64(self.seed.unwrap_or(0));
+            let plans = sweep.sample_plans(params, &mut rng)?;
+            let horizon = sweep.horizon_hint(params, reach);
+            return Ok((plans, horizon));
         }
-        strategy_by_name(&self.strategy)
-            .ok_or_else(|| Error::domain(format!("unknown strategy \"{}\"", self.strategy)))
+        let strategy: Box<dyn Strategy> = resolve_strategy(&self.strategy, self.beta)?;
+        let plans = strategy.plans(params)?;
+        let horizon = strategy.horizon_hint(params, reach);
+        Ok((plans, horizon))
     }
 
     /// Runs the scenario: every target is searched independently, with
@@ -206,33 +245,29 @@ impl Scenario {
     pub fn run(&self) -> Result<Vec<ScenarioResult>> {
         self.validate()?;
         let params = Params::new(self.n, self.f)?;
-        let strategy = self.build_strategy()?;
-        let plans: Vec<Box<dyn TrajectoryPlan>> = strategy.plans(params)?;
         let xmax = self.targets.iter().map(|x| x.abs()).fold(1.0f64, f64::max);
-        let horizon = strategy.horizon_hint(params, xmax * 1.01 + 1.0);
+        let (plans, horizon) = self.plans_and_horizon(params, xmax)?;
         let trajectories =
             plans.iter().map(|p| p.materialize(horizon)).collect::<Result<Vec<_>>>()?;
 
-        self.targets
-            .iter()
-            .map(|&x| {
-                let target = Target::new(x)?;
-                let outcome: SearchOutcome = match &self.faulty {
-                    Some(faulty) => {
-                        let mask = FaultMask::from_indices(self.n, faulty)?;
-                        Simulation::new(trajectories.clone(), target, &mask, SimConfig::default())?
-                            .run()
-                    }
-                    None => worst_case_outcome(
-                        trajectories.clone(),
-                        target,
-                        self.f,
-                        SimConfig::default(),
-                    )?,
-                };
-                Ok(ScenarioResult::from_outcome(x, &outcome))
-            })
-            .collect()
+        // Each target is an independent simulation; fan them out over
+        // the core work-stealing engine (honours FAULTLINE_THREADS).
+        faultline_core::par_map(&self.targets, |&x| {
+            let target = Target::new(x)?;
+            let outcome: SearchOutcome = match &self.faulty {
+                Some(faulty) => {
+                    let mask = FaultMask::from_indices(self.n, faulty)?;
+                    Simulation::new(trajectories.clone(), target, &mask, SimConfig::default())?
+                        .run()
+                }
+                None => {
+                    worst_case_outcome(trajectories.clone(), target, self.f, SimConfig::default())?
+                }
+            };
+            Ok(ScenarioResult::from_outcome(x, &outcome))
+        })
+        .into_iter()
+        .collect()
     }
 }
 
@@ -320,6 +355,37 @@ mod tests {
         let results = s.run().unwrap();
         assert!(results[0].detection_time.is_some());
         assert_ne!(results[0].detected_by, Some(0), "robot 0 is faulty");
+    }
+
+    #[test]
+    fn seed_requires_randomized_sweep() {
+        assert!(
+            Scenario::from_json(r#"{"n": 3, "f": 1, "targets": [2.0], "seed": 7}"#).is_err(),
+            "a seed on a deterministic strategy must be rejected"
+        );
+        assert!(Scenario::from_json(
+            r#"{"n": 3, "f": 1, "strategy": "randomized-sweep", "beta": 2.0, "targets": [2.0]}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn randomized_sweep_is_seed_reproducible() {
+        let doc = |seed: u64| {
+            format!(
+                r#"{{"n": 2, "f": 1, "strategy": "randomized-sweep",
+                     "targets": [2.0, -3.5], "seed": {seed}}}"#
+            )
+        };
+        let s = Scenario::from_json(&doc(11)).unwrap();
+        let a = s.run().unwrap();
+        let b = s.run().unwrap();
+        assert_eq!(a, b, "same seed must reproduce bit-for-bit");
+        // Different seeds draw different phases; detection times for at
+        // least one target should differ (overwhelmingly likely for
+        // continuous phases, and pinned here for these specific seeds).
+        let c = Scenario::from_json(&doc(12)).unwrap().run().unwrap();
+        assert_ne!(a, c, "seeds 11 and 12 draw different coin flips");
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! independently, via the discrete-event simulator.
 
 use faultline_core::coverage::{adversarial_targets, Fleet};
-use faultline_core::{json_float, Params, Result};
-use faultline_strategies::Strategy;
+use faultline_core::{json_float, Error, Params, Result};
+use faultline_strategies::{strategy_by_name, FixedBetaStrategy, Strategy};
 use serde::{Deserialize, Serialize};
 
 /// The outcome of an empirical competitive-ratio measurement.
@@ -66,6 +66,115 @@ impl<'de> Deserialize<'de> for MeasuredCr {
 /// Relative offset used to probe the right-hand limits at turning
 /// points, where the supremum of `K` lives (Lemma 3).
 pub const TURNING_POINT_EPS: f64 = 1e-9;
+
+/// Resolves a strategy specification — a registry name, or
+/// `"fixed-beta"` together with a cone parameter — into a strategy
+/// object. Shared by the scenario runner, the CLI and the query
+/// service so every entry point accepts the same spellings.
+///
+/// # Errors
+///
+/// Rejects unknown names, a missing `beta` for `"fixed-beta"`, and a
+/// `beta` supplied for any other strategy.
+pub fn resolve_strategy(name: &str, beta: Option<f64>) -> Result<Box<dyn Strategy>> {
+    if name == "fixed-beta" {
+        let beta =
+            beta.ok_or_else(|| Error::domain("strategy \"fixed-beta\" requires a \"beta\" field"))?;
+        return Ok(Box::new(FixedBetaStrategy::new(beta)?));
+    }
+    if beta.is_some() {
+        return Err(Error::domain("\"beta\" is only meaningful with strategy \"fixed-beta\""));
+    }
+    strategy_by_name(name).ok_or_else(|| Error::domain(format!("unknown strategy \"{name}\"")))
+}
+
+/// A typed supremum-scan request: which strategy to measure, for which
+/// `(n, f)`, over which adversarial grid. This is the parameter set of
+/// [`measure_strategy_cr`] in serializable form, consumed by both the
+/// CLI and `POST /v1/supremum`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SupremumQuery {
+    /// Number of robots.
+    pub n: usize,
+    /// Fault tolerance.
+    pub f: usize,
+    /// Strategy name from the registry (default `"paper"`).
+    #[serde(default = "default_strategy_name")]
+    pub strategy: String,
+    /// Cone parameter, only for `strategy = "fixed-beta"`.
+    #[serde(default)]
+    pub beta: Option<f64>,
+    /// Scan targets up to `±xmax` (default 25).
+    #[serde(default = "default_xmax")]
+    pub xmax: f64,
+    /// Log-grid points per side on top of the turning-point probes
+    /// (default 64).
+    #[serde(default = "default_grid_points")]
+    pub grid_points: usize,
+}
+
+fn default_strategy_name() -> String {
+    "paper".to_owned()
+}
+
+fn default_xmax() -> f64 {
+    25.0
+}
+
+fn default_grid_points() -> usize {
+    64
+}
+
+/// The result of a [`SupremumQuery`]: the fully resolved query echoed
+/// back next to its measurement, so a cached report is self-describing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SupremumReport {
+    /// The query that produced this report.
+    pub query: SupremumQuery,
+    /// The measured supremum scan.
+    pub measured: MeasuredCr,
+}
+
+impl SupremumQuery {
+    /// Validates the query without running it.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid `(n, f)`, unknown strategies, a missing or
+    /// superfluous `beta`, a non-finite or sub-unit `xmax`, and grid
+    /// sizes that are zero or beyond the service bound of 100 000
+    /// points per side.
+    pub fn validate(&self) -> Result<()> {
+        Params::new(self.n, self.f)?;
+        resolve_strategy(&self.strategy, self.beta)?;
+        if !(self.xmax >= 1.0) || !self.xmax.is_finite() {
+            return Err(Error::domain(format!("xmax must be finite and >= 1, got {}", self.xmax)));
+        }
+        if self.xmax > 1e9 {
+            return Err(Error::domain(format!("xmax {} beyond the service bound 1e9", self.xmax)));
+        }
+        if self.grid_points == 0 || self.grid_points > 100_000 {
+            return Err(Error::domain(format!(
+                "grid_points must be in 1..=100000, got {}",
+                self.grid_points
+            )));
+        }
+        Ok(())
+    }
+
+    /// Runs the scan through [`measure_strategy_cr`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation and measurement failures.
+    pub fn run(&self) -> Result<SupremumReport> {
+        self.validate()?;
+        let params = Params::new(self.n, self.f)?;
+        let strategy = resolve_strategy(&self.strategy, self.beta)?;
+        let measured = measure_strategy_cr(strategy.as_ref(), params, self.xmax, self.grid_points)?;
+        Ok(SupremumReport { query: self.clone(), measured })
+    }
+}
 
 /// Builds the adversarial target grid for a materialized fleet: all
 /// turning points of all robots within `[1, xmax]`, their right-hand
@@ -242,6 +351,51 @@ mod tests {
         assert!(json.contains("\"inf\""), "non-finite ratio must use the sentinel: {json}");
         let back: MeasuredCr = serde_json::from_str(&json).unwrap();
         assert_eq!(m, back);
+    }
+
+    #[test]
+    fn supremum_query_runs_and_roundtrips() {
+        let query: SupremumQuery =
+            serde_json::from_str(r#"{"n": 3, "f": 1, "xmax": 20.0, "grid_points": 32}"#).unwrap();
+        assert_eq!(query.strategy, "paper");
+        let report = query.run().unwrap();
+        assert_eq!(report.measured.uncovered, 0);
+        assert!((report.measured.empirical - 5.2331).abs() < 1e-2);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: SupremumReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn supremum_query_validates_inputs() {
+        let base = SupremumQuery {
+            n: 3,
+            f: 1,
+            strategy: "paper".into(),
+            beta: None,
+            xmax: 25.0,
+            grid_points: 64,
+        };
+        assert!(base.validate().is_ok());
+        assert!(SupremumQuery { n: 1, f: 3, ..base.clone() }.validate().is_err());
+        assert!(SupremumQuery { strategy: "nope".into(), ..base.clone() }.validate().is_err());
+        assert!(SupremumQuery { beta: Some(2.0), ..base.clone() }.validate().is_err());
+        assert!(SupremumQuery { strategy: "fixed-beta".into(), ..base.clone() }
+            .validate()
+            .is_err());
+        assert!(SupremumQuery { xmax: 0.5, ..base.clone() }.validate().is_err());
+        assert!(SupremumQuery { xmax: f64::NAN, ..base.clone() }.validate().is_err());
+        assert!(SupremumQuery { grid_points: 0, ..base.clone() }.validate().is_err());
+        assert!(SupremumQuery { grid_points: 1_000_000, ..base }.validate().is_err());
+    }
+
+    #[test]
+    fn resolve_strategy_matches_scenario_rules() {
+        assert!(resolve_strategy("paper", None).is_ok());
+        assert!(resolve_strategy("fixed-beta", Some(2.5)).is_ok());
+        assert!(resolve_strategy("fixed-beta", None).is_err());
+        assert!(resolve_strategy("paper", Some(2.5)).is_err());
+        assert!(resolve_strategy("no-such", None).is_err());
     }
 
     #[test]

@@ -67,13 +67,33 @@ pub const TABLE1_PAPER: &[(usize, usize, f64, f64, Option<f64>)] = &[
     (41, 20, 3.24, 3.12, Some(42.0)),
 ];
 
+/// Grid resolution of the empirical supremum scan used by
+/// [`regenerate_row`] and [`regenerate`]. Finer grids tighten the
+/// measured supremum at proportionally higher cost.
+pub const DEFAULT_MEASURE_GRID: usize = 64;
+
 /// Regenerates one row analytically; with `measure = true` also runs
-/// the empirical supremum scan (slower for large `n`).
+/// the empirical supremum scan (slower for large `n`) at the default
+/// grid resolution.
 ///
 /// # Errors
 ///
 /// Propagates parameter validation and measurement failures.
 pub fn regenerate_row(n: usize, f: usize, measure: bool) -> Result<Table1Row> {
+    regenerate_row_with_grid(n, f, measure, DEFAULT_MEASURE_GRID)
+}
+
+/// [`regenerate_row`] with an explicit scan grid resolution.
+///
+/// # Errors
+///
+/// Propagates parameter validation and measurement failures.
+pub fn regenerate_row_with_grid(
+    n: usize,
+    f: usize,
+    measure: bool,
+    grid_points: usize,
+) -> Result<Table1Row> {
     let params = Params::new(n, f)?;
     let cr_upper = ratio::cr_upper(params);
     let lb = lower_bound::lower_bound(params)?;
@@ -90,7 +110,7 @@ pub fn regenerate_row(n: usize, f: usize, measure: bool) -> Result<Table1Row> {
             }
             Regime::TwoGroup => 16.0,
         };
-        Some(measure_strategy_cr(&PaperStrategy::new(), params, xmax, 64)?.empirical)
+        Some(measure_strategy_cr(&PaperStrategy::new(), params, xmax, grid_points)?.empirical)
     } else {
         None
     };
@@ -108,9 +128,40 @@ pub fn regenerate_row(n: usize, f: usize, measure: bool) -> Result<Table1Row> {
 ///
 /// Propagates row failures.
 pub fn regenerate(measure: bool) -> Result<Vec<Table1Row>> {
-    crate::parallel::par_map(TABLE1_PAIRS, |&(n, f)| regenerate_row(n, f, measure))
-        .into_iter()
-        .collect()
+    regenerate_with_grid(measure, DEFAULT_MEASURE_GRID)
+}
+
+/// [`regenerate`] with an explicit scan grid resolution.
+///
+/// # Errors
+///
+/// Propagates row failures.
+pub fn regenerate_with_grid(measure: bool, grid_points: usize) -> Result<Vec<Table1Row>> {
+    crate::parallel::par_map(TABLE1_PAIRS, |&(n, f)| {
+        regenerate_row_with_grid(n, f, measure, grid_points)
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Serializes regenerated rows as the canonical CSV artifact
+/// (`out/table1.csv`), shared by the `repro` harness and the query
+/// service's CSV export.
+#[must_use]
+pub fn to_csv(rows: &[Table1Row]) -> String {
+    let mut csv = String::from("n,f,cr_upper,lower_bound,expansion_factor,cr_measured\n");
+    for r in rows {
+        csv.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            r.n,
+            r.f,
+            r.cr_upper,
+            r.lower_bound,
+            r.expansion_factor.map_or(String::new(), |v| v.to_string()),
+            r.cr_measured.map_or(String::new(), |v| v.to_string()),
+        ));
+    }
+    csv
 }
 
 /// Renders regenerated rows next to the paper's printed values.
@@ -217,6 +268,16 @@ mod tests {
         assert!(row.expansion_factor.is_none());
         assert_eq!(row.cr_upper, 1.0);
         assert!((row.cr_measured.unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csv_has_header_and_all_rows() {
+        let rows = regenerate(false).unwrap();
+        let csv = to_csv(&rows);
+        assert!(csv.starts_with("n,f,cr_upper,lower_bound,expansion_factor,cr_measured\n"));
+        assert_eq!(csv.lines().count(), 1 + rows.len());
+        // Two-group rows leave the expansion column empty.
+        assert!(csv.lines().any(|l| l.starts_with("4,1,1,")));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! ```text
 //! repro [table1|fig5|figures|ablation|lower-bound|montecarlo|explore|all] [--fast] [--seed=N]
 //! repro replay <trace.json>
-//! repro bench [--quick] [--out=PATH]
+//! repro bench [--quick] [--out=PATH] [--force]
 //! ```
 //!
 //! `--seed=N` re-seeds the Monte-Carlo section (fault stream `N`,
@@ -38,6 +38,7 @@ mod rand_free {
         let args: Vec<String> = std::env::args().skip(1).collect();
         let fast = args.iter().any(|a| a == "--fast");
         let quick = args.iter().any(|a| a == "--quick");
+        let force = args.iter().any(|a| a == "--force");
         let bench_out: Option<String> =
             args.iter().find_map(|a| a.strip_prefix("--out=")).map(str::to_owned);
         let seed: Option<u64> = args
@@ -72,7 +73,7 @@ mod rand_free {
                 let path = operand.ok_or("replay needs a trace file: repro replay <trace.json>")?;
                 run_replay(path)?;
             }
-            "bench" => run_bench(quick, bench_out.as_deref())?,
+            "bench" => run_bench(quick, bench_out.as_deref(), force)?,
             "all" => {
                 run_table1(out_dir, fast)?;
                 run_fig5(out_dir, fast)?;
@@ -102,19 +103,7 @@ fn run_table1(out_dir: &Path, fast: bool) -> Result<(), Box<dyn std::error::Erro
     println!("== Table 1: upper/lower bounds and expansion factors ==");
     let rows = table1::regenerate(!fast)?;
     print!("{}", table1::render(&rows));
-    let mut csv = String::from("n,f,cr_upper,lower_bound,expansion_factor,cr_measured\n");
-    for r in &rows {
-        csv.push_str(&format!(
-            "{},{},{},{},{},{}\n",
-            r.n,
-            r.f,
-            r.cr_upper,
-            r.lower_bound,
-            r.expansion_factor.map_or(String::new(), |v| v.to_string()),
-            r.cr_measured.map_or(String::new(), |v| v.to_string()),
-        ));
-    }
-    fs::write(out_dir.join("table1.csv"), csv)?;
+    fs::write(out_dir.join("table1.csv"), table1::to_csv(&rows))?;
     println!("(written to out/table1.csv)\n");
     Ok(())
 }
@@ -525,7 +514,11 @@ fn run_explore(out_dir: &Path, fast: bool, seed: u64) -> Result<(), Box<dyn std:
     Ok(())
 }
 
-fn run_bench(quick: bool, out: Option<&str>) -> Result<(), Box<dyn std::error::Error>> {
+fn run_bench(
+    quick: bool,
+    out: Option<&str>,
+    force: bool,
+) -> Result<(), Box<dyn std::error::Error>> {
     println!("== Perf baseline: canonical workloads + engine comparison ==");
     if quick {
         println!("(--quick: reduced workloads, suitable for CI smoke)");
@@ -565,9 +558,12 @@ fn run_bench(quick: bool, out: Option<&str>) -> Result<(), Box<dyn std::error::E
             &rows
         )
     );
-    let path = out.map_or_else(|| format!("BENCH_{}.json", baseline.date), str::to_owned);
+    // Resolve before writing: create missing parent directories, and
+    // refuse to clobber an existing baseline unless --force was given.
+    let path =
+        faultline_bench::resolve_out_path(out, &format!("BENCH_{}.json", baseline.date), force)?;
     fs::write(&path, serde_json::to_string_pretty(&baseline)? + "\n")?;
-    println!("(baseline written to {path})\n");
+    println!("(baseline written to {})\n", path.display());
     Ok(())
 }
 

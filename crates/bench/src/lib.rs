@@ -8,8 +8,10 @@
 #![warn(rust_2018_idioms)]
 
 pub mod baseline;
+pub mod output;
 
 pub use baseline::{run_baseline, BenchBaseline, EngineComparison, HostInfo, WorkloadTiming};
+pub use output::resolve_out_path;
 
 /// Workspace version, re-exported for the harness banner.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

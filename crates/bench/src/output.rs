@@ -1,0 +1,88 @@
+//! Output-path resolution for harness artifacts: creates missing
+//! parent directories and refuses to silently overwrite an existing
+//! file unless the caller passed `--force`.
+
+use std::path::PathBuf;
+
+/// Resolves where a harness artifact should be written.
+///
+/// `out` is the user's `--out=PATH` (if any), `default_name` the
+/// fallback filename in the current directory. Missing parent
+/// directories of an explicit path are created.
+///
+/// # Errors
+///
+/// Returns a message when the parent directory cannot be created, or
+/// when the target already exists and `force` is `false`.
+pub fn resolve_out_path(
+    out: Option<&str>,
+    default_name: &str,
+    force: bool,
+) -> Result<PathBuf, String> {
+    let path = PathBuf::from(out.unwrap_or(default_name));
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() && !parent.exists() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create directory `{}`: {e}", parent.display()))?;
+        }
+    }
+    if path.is_dir() {
+        return Err(format!("`{}` is a directory, not a writable file", path.display()));
+    }
+    if path.exists() && !force {
+        return Err(format!("`{}` already exists; pass --force to overwrite it", path.display()));
+    }
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("faultline-bench-out-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn creates_missing_parent_directories() {
+        let dir = scratch("parents");
+        let target = dir.join("deeply/nested/bench.json");
+        let resolved =
+            resolve_out_path(Some(target.to_str().unwrap()), "unused.json", false).unwrap();
+        assert_eq!(resolved, target);
+        assert!(target.parent().unwrap().is_dir(), "parents were created");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn refuses_silent_overwrite_without_force() {
+        let dir = scratch("overwrite");
+        let target = dir.join("bench.json");
+        std::fs::write(&target, "{}").unwrap();
+        let err = resolve_out_path(Some(target.to_str().unwrap()), "unused.json", false)
+            .expect_err("existing file without --force");
+        assert!(err.contains("--force"), "error mentions the escape hatch: {err}");
+        let forced = resolve_out_path(Some(target.to_str().unwrap()), "unused.json", true);
+        assert!(forced.is_ok(), "--force allows the overwrite");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn default_name_is_used_when_out_is_absent() {
+        let resolved = resolve_out_path(None, "BENCH_2026-01-01.json", true).unwrap();
+        assert_eq!(resolved, PathBuf::from("BENCH_2026-01-01.json"));
+    }
+
+    #[test]
+    fn directories_are_rejected_as_targets() {
+        let dir = scratch("dirtarget");
+        let err = resolve_out_path(Some(dir.to_str().unwrap()), "unused.json", true)
+            .expect_err("a directory is not a file target");
+        assert!(err.contains("directory"), "got: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

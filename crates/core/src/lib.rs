@@ -70,6 +70,7 @@ pub mod numeric;
 pub mod parallel;
 pub mod params;
 pub mod plan;
+pub mod query;
 pub mod ratio;
 pub mod schedule;
 pub mod spacetime;
@@ -89,6 +90,7 @@ pub use interval::Interval;
 pub use parallel::{par_map, par_map_chunked, par_map_with, ParallelConfig};
 pub use params::{Params, Regime};
 pub use plan::{Direction, IdlePlan, RayPlan, TrajectoryPlan, WaypointCyclePlan};
+pub use query::{canonical_hash64, canonical_string, CrQuery, CrReport};
 pub use schedule::ProportionalSchedule;
 pub use spacetime::{Segment, SpaceTime};
 pub use trajectory::{PiecewiseTrajectory, TrajectoryBuilder};

@@ -1,0 +1,318 @@
+//! Stable typed query API and canonical request-parameter hashing.
+//!
+//! The serving layer (`faultline-serve`) memoizes query results keyed
+//! on the *fully resolved* request parameters. Two requests that mean
+//! the same thing must map to the same cache entry even when their
+//! JSON spells the fields in a different order or writes `3` where
+//! another client writes `3.0`; two requests that differ in any
+//! parameter (notably the seed) must never share an entry. This module
+//! provides that canonical form:
+//!
+//! * [`canonicalize`] — recursively sorts object fields and unifies
+//!   numerically equal `Int`/`UInt`/`Float` representations.
+//! * [`canonical_string`] — a type-tagged, injective text encoding of a
+//!   canonicalized [`Value`]; equal canonical strings imply equal
+//!   request parameters.
+//! * [`canonical_hash64`] — FNV-1a 64-bit hash of the canonical
+//!   string, used for cache shard selection (the full string remains
+//!   the collision-proof key).
+//!
+//! It also exposes the first typed query: [`CrQuery`] resolves the
+//! closed-form competitive-ratio facts for a validated `(n, f)` pair
+//! into a serde-serializable [`CrReport`], shared by the CLI and the
+//! query service so both always agree.
+
+use serde::{Deserialize, Serialize, Value};
+
+use crate::error::Result;
+use crate::params::{Params, Regime};
+use crate::{lower_bound, ratio};
+
+/// Returns the canonical form of a value: object fields sorted by key
+/// (recursively) and numeric representations unified so that
+/// `Int(3)`, `UInt(3)` and `Float(3.0)` compare and hash identically.
+#[must_use]
+pub fn canonicalize(value: &Value) -> Value {
+    match value {
+        Value::UInt(v) => match i64::try_from(*v) {
+            Ok(i) => Value::Int(i),
+            Err(_) => Value::UInt(*v),
+        },
+        Value::Float(v) => canonical_float(*v),
+        Value::Array(items) => Value::Array(items.iter().map(canonicalize).collect()),
+        Value::Object(fields) => {
+            let mut sorted: Vec<(String, Value)> =
+                fields.iter().map(|(k, v)| (k.clone(), canonicalize(v))).collect();
+            sorted.sort_by(|a, b| a.0.cmp(&b.0));
+            Value::Object(sorted)
+        }
+        other => other.clone(),
+    }
+}
+
+/// Collapses an `f64` onto the canonical numeric representation: an
+/// integral float in the exactly-representable range becomes `Int`
+/// (`-0.0` normalizes to `0`), everything else stays `Float`.
+fn canonical_float(v: f64) -> Value {
+    const EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+    if v.is_finite() && v == v.trunc() && v.abs() <= EXACT {
+        Value::Int(v as i64)
+    } else {
+        Value::Float(v)
+    }
+}
+
+fn write_canonical(out: &mut String, value: &Value) {
+    match value {
+        Value::Null => out.push('n'),
+        Value::Bool(true) => out.push('t'),
+        Value::Bool(false) => out.push('f'),
+        Value::Int(v) => {
+            out.push('i');
+            out.push_str(&v.to_string());
+        }
+        Value::UInt(v) => {
+            out.push('u');
+            out.push_str(&v.to_string());
+        }
+        // Shortest-roundtrip `{}` formatting is deterministic and
+        // injective on f64 (distinct bit patterns other than -0.0/0.0
+        // print differently; the integral cases were folded to Int).
+        Value::Float(v) => {
+            out.push('d');
+            out.push_str(&v.to_string());
+        }
+        Value::String(s) => {
+            out.push('"');
+            for ch in s.chars() {
+                match ch {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_canonical(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                for ch in key.chars() {
+                    match ch {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        c => out.push(c),
+                    }
+                }
+                out.push_str("\":");
+                write_canonical(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Encodes a value into its canonical string form: [`canonicalize`]d,
+/// then written with type tags so that values of different kinds can
+/// never produce the same encoding (a string `"inf"` and the float
+/// infinity stay distinct, unlike in plain JSON-with-sentinels).
+#[must_use]
+pub fn canonical_string(value: &Value) -> String {
+    let mut out = String::new();
+    write_canonical(&mut out, &canonicalize(value));
+    out
+}
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes raw bytes with FNV-1a 64 (stable across platforms and runs,
+/// unlike `std::hash::DefaultHasher` which is randomly keyed).
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// The canonical 64-bit hash of a request-parameter value: FNV-1a of
+/// [`canonical_string`]. Stable across field ordering and numeric
+/// spelling; used for cache sharding while the canonical string itself
+/// remains the exact cache key.
+#[must_use]
+pub fn canonical_hash64(value: &Value) -> u64 {
+    fnv1a64(canonical_string(value).as_bytes())
+}
+
+/// A typed closed-form competitive-ratio query for one `(n, f)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrQuery {
+    /// Number of robots.
+    pub n: usize,
+    /// Fault tolerance.
+    pub f: usize,
+}
+
+/// Every closed-form fact about `(n, f)` in one serializable report:
+/// what `faultline bounds` prints and what `GET /v1/cr` serves.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrReport {
+    /// Number of robots.
+    pub n: usize,
+    /// Fault tolerance.
+    pub f: usize,
+    /// The regime the pair falls into.
+    pub regime: Regime,
+    /// Visits required to confirm a target (`f + 1`).
+    pub required_visits: usize,
+    /// Competitive ratio of `A(n, f)` (Theorem 1).
+    pub cr_upper: f64,
+    /// Lower bound on any algorithm's competitive ratio (Section 4).
+    pub lower_bound: f64,
+    /// Optimal cone parameter `beta*` (proportional regime only).
+    pub optimal_beta: Option<f64>,
+    /// Expansion factor of `A(n, f)` (proportional regime only).
+    pub expansion_factor: Option<f64>,
+    /// Proportionality ratio `r` (proportional regime only).
+    pub proportionality_ratio: Option<f64>,
+}
+
+impl CrQuery {
+    /// Evaluates the query against the paper's closed forms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::InvalidParameters`] for invalid `(n, f)`
+    /// and propagates closed-form evaluation failures.
+    pub fn evaluate(&self) -> Result<CrReport> {
+        let params = Params::new(self.n, self.f)?;
+        let (optimal_beta, expansion_factor, proportionality_ratio) = match params.regime() {
+            Regime::Proportional => (
+                Some(ratio::optimal_beta(params)?),
+                Some(ratio::expansion_factor(params)?),
+                Some(ratio::proportionality_ratio(params)?),
+            ),
+            Regime::TwoGroup => (None, None, None),
+        };
+        Ok(CrReport {
+            n: self.n,
+            f: self.f,
+            regime: params.regime(),
+            required_visits: params.required_visits(),
+            cr_upper: ratio::cr_upper(params),
+            lower_bound: lower_bound::lower_bound(params)?,
+            optimal_beta,
+            expansion_factor,
+            proportionality_ratio,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(fields: Vec<(&str, Value)>) -> Value {
+        Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    #[test]
+    fn field_order_does_not_change_the_hash() {
+        let a = obj(vec![("n", Value::Int(3)), ("f", Value::Int(1))]);
+        let b = obj(vec![("f", Value::Int(1)), ("n", Value::Int(3))]);
+        assert_eq!(canonical_string(&a), canonical_string(&b));
+        assert_eq!(canonical_hash64(&a), canonical_hash64(&b));
+    }
+
+    #[test]
+    fn numeric_spellings_unify() {
+        assert_eq!(canonical_string(&Value::Float(3.0)), canonical_string(&Value::Int(3)),);
+        assert_eq!(canonical_string(&Value::UInt(3)), canonical_string(&Value::Int(3)),);
+        assert_eq!(canonical_string(&Value::Float(-0.0)), canonical_string(&Value::Int(0)));
+        assert_ne!(canonical_string(&Value::Float(3.5)), canonical_string(&Value::Int(3)));
+    }
+
+    #[test]
+    fn kinds_never_collide() {
+        // A string spelling of a number is not the number.
+        assert_ne!(canonical_string(&Value::String("3".into())), canonical_string(&Value::Int(3)));
+        assert_ne!(
+            canonical_string(&Value::String("inf".into())),
+            canonical_string(&Value::Float(f64::INFINITY))
+        );
+        assert_ne!(canonical_string(&Value::Null), canonical_string(&Value::String("n".into())));
+        assert_ne!(
+            canonical_string(&Value::Bool(true)),
+            canonical_string(&Value::String("t".into()))
+        );
+    }
+
+    #[test]
+    fn nested_objects_sort_recursively() {
+        let a = obj(vec![(
+            "scenario",
+            obj(vec![("targets", Value::Array(vec![Value::Float(2.0)])), ("n", Value::Int(3))]),
+        )]);
+        let b = obj(vec![(
+            "scenario",
+            obj(vec![("n", Value::Int(3)), ("targets", Value::Array(vec![Value::Int(2)]))]),
+        )]);
+        assert_eq!(canonical_string(&a), canonical_string(&b));
+    }
+
+    #[test]
+    fn distinct_seeds_hash_distinctly() {
+        let key = |seed: u64| {
+            canonical_string(&obj(vec![
+                ("name", Value::String("mc".into())),
+                ("seed", Value::UInt(seed)),
+            ]))
+        };
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..10_000u64 {
+            assert!(seen.insert(key(seed)), "seed {seed} collided");
+        }
+    }
+
+    #[test]
+    fn cr_query_matches_closed_forms() {
+        let report = CrQuery { n: 3, f: 1 }.evaluate().unwrap();
+        assert_eq!(report.regime, Regime::Proportional);
+        assert!((report.cr_upper - 5.2331).abs() < 1e-3);
+        assert!(report.optimal_beta.is_some());
+        assert_eq!(report.required_visits, 2);
+
+        let trivial = CrQuery { n: 6, f: 2 }.evaluate().unwrap();
+        assert_eq!(trivial.regime, Regime::TwoGroup);
+        assert_eq!(trivial.cr_upper, 1.0);
+        assert_eq!(trivial.expansion_factor, None);
+
+        assert!(CrQuery { n: 2, f: 2 }.evaluate().is_err());
+    }
+
+    #[test]
+    fn cr_report_roundtrips_through_json() {
+        let report = CrQuery { n: 5, f: 2 }.evaluate().unwrap();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: CrReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+}

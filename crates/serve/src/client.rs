@@ -1,0 +1,111 @@
+//! Loopback HTTP client for `faultline query` and the integration
+//! tests: one request per connection, same dialect the server speaks.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A response as seen by the client.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response headers as `(name, value)` pairs, in wire order.
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// The first header named `name` (case-insensitive).
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text (lossy).
+    #[must_use]
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Sends one HTTP/1.1 request to `addr` and reads the full response.
+///
+/// # Errors
+///
+/// Returns `Err(String)` on connection, write, read or parse failures.
+pub fn query(addr: &str, method: &str, path: &str, body: Option<&str>) -> Result<Response, String> {
+    query_with_timeout(addr, method, path, body, Duration::from_secs(120))
+}
+
+/// [`query`] with an explicit socket read timeout.
+///
+/// # Errors
+///
+/// Returns `Err(String)` on connection, write, read or parse failures.
+pub fn query_with_timeout(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> Result<Response, String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream.set_read_timeout(Some(timeout)).map_err(|e| format!("set_read_timeout: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    let payload = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        payload.len(),
+    );
+    stream.write_all(request.as_bytes()).map_err(|e| format!("write failed: {e}"))?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).map_err(|e| format!("read failed: {e}"))?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> Result<Response, String> {
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| "response has no header/body separator".to_owned())?;
+    let head =
+        std::str::from_utf8(&raw[..split]).map_err(|_| "response head is not UTF-8".to_owned())?;
+    let body = raw[split + 4..].to_vec();
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| "empty response".to_owned())?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| format!("malformed status line: {status_line}"))?;
+    let headers = lines
+        .filter_map(|line| {
+            line.split_once(':').map(|(n, v)| (n.trim().to_owned(), v.trim().to_owned()))
+        })
+        .collect();
+    Ok(Response { status, headers, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn responses_parse() {
+        let raw =
+            b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nX-Cache: hit\r\n\r\n{\"ok\":1}\n";
+        let response = parse_response(raw).unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.header("x-cache"), Some("hit"));
+        assert_eq!(response.text(), "{\"ok\":1}\n");
+    }
+
+    #[test]
+    fn malformed_responses_are_errors() {
+        assert!(parse_response(b"garbage").is_err());
+        assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n").is_err());
+    }
+}

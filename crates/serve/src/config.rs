@@ -1,0 +1,90 @@
+//! Service configuration: listen address, worker pool sizing, cache
+//! budget, admission-queue depth and per-request deadline.
+
+use std::time::Duration;
+
+/// The default listen address of `faultline serve`.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7171";
+
+/// Tuning knobs for the query service.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (`host:port`; port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads executing heavy computations; `None` defers to
+    /// [`faultline_core::ParallelConfig`]'s resolution (the
+    /// `FAULTLINE_THREADS` environment variable, then core count).
+    pub threads: Option<usize>,
+    /// Total response-cache byte budget across all shards.
+    pub cache_bytes: usize,
+    /// Number of independently locked cache shards.
+    pub cache_shards: usize,
+    /// Admission-queue capacity; a full queue answers
+    /// `503 Service Unavailable` with a `Retry-After` header.
+    pub queue_capacity: usize,
+    /// Per-request deadline measured from admission: a request that is
+    /// still queued or computing when it expires answers
+    /// `504 Gateway Timeout`.
+    pub request_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: DEFAULT_ADDR.to_owned(),
+            threads: None,
+            cache_bytes: 64 * 1024 * 1024,
+            cache_shards: 16,
+            queue_capacity: 64,
+            request_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The resolved worker-thread count (never zero).
+    #[must_use]
+    pub fn resolved_threads(&self) -> usize {
+        faultline_core::ParallelConfig { threads: self.threads, grain: None }.resolved_threads()
+    }
+
+    /// Validates cross-field constraints.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a zero cache shard count, a zero admission queue, and a
+    /// zero request timeout.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cache_shards == 0 {
+            return Err("cache_shards must be at least 1".to_owned());
+        }
+        if self.queue_capacity == 0 {
+            return Err("queue_capacity must be at least 1".to_owned());
+        }
+        if self.request_timeout.is_zero() {
+            return Err("request_timeout must be positive".to_owned());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        let config = ServeConfig::default();
+        assert!(config.validate().is_ok());
+        assert!(config.resolved_threads() >= 1);
+    }
+
+    #[test]
+    fn zero_knobs_are_rejected() {
+        assert!(ServeConfig { cache_shards: 0, ..ServeConfig::default() }.validate().is_err());
+        assert!(ServeConfig { queue_capacity: 0, ..ServeConfig::default() }.validate().is_err());
+        assert!(ServeConfig { request_timeout: Duration::ZERO, ..ServeConfig::default() }
+            .validate()
+            .is_err());
+    }
+}

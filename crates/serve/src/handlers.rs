@@ -1,0 +1,407 @@
+//! Endpoint handlers: each request is *resolved* up front (parsed,
+//! validated, defaults filled in) into a canonical cache key plus a
+//! deferred compute closure. The key is
+//! `<route>|<canonical string of the fully-resolved parameters>`
+//! ([`faultline_core::query::canonical_string`]), so equivalent
+//! spellings share a cache entry while any semantic difference —
+//! including the seed — gets its own.
+
+use faultline_analysis::scenario::{results_to_json, run_document, Scenario};
+use faultline_analysis::supremum::SupremumQuery;
+use faultline_analysis::table1;
+use faultline_core::query::canonical_string;
+use faultline_core::CrQuery;
+use faultline_sim::RunTrace;
+
+use crate::http::Request;
+use crate::router::Route;
+use crate::ServeError;
+
+/// A resolved request: cache key plus the deferred computation.
+pub struct Prepared {
+    /// Canonical cache key of the fully-resolved parameters.
+    pub cache_key: String,
+    /// Computes the response body. Runs inline for light routes, on the
+    /// worker pool for heavy ones.
+    pub compute: Box<dyn FnOnce() -> Result<Vec<u8>, ServeError> + Send>,
+}
+
+/// The named scenario presets served by `POST /v1/scenario` with
+/// `{"name": ...}`; `(name, scenario JSON)`. The `randomized` preset
+/// uses the seedable sweep strategy, so requests may pass an explicit
+/// `"seed"` alongside the name.
+pub const SCENARIO_PRESETS: &[(&str, &str)] = &[
+    ("smoke", r#"{"n": 3, "f": 1, "targets": [2.0, -4.5]}"#),
+    ("two-group", r#"{"n": 4, "f": 2, "targets": [1.5, -3.0, 8.0]}"#),
+    ("proportional", r#"{"n": 5, "f": 2, "targets": [2.0, -6.0, 12.0]}"#),
+    ("explicit-faults", r#"{"n": 4, "f": 2, "targets": [3.0, -5.0], "faulty": [0, 2]}"#),
+    (
+        "randomized",
+        r#"{"n": 3, "f": 1, "strategy": "randomized-sweep", "targets": [2.0, -4.5, 7.0]}"#,
+    ),
+];
+
+fn key_for(route: Route, resolved: &serde::Value) -> String {
+    format!("{}|{}", route.label(), canonical_string(resolved))
+}
+
+fn to_resolved_value<T: serde::Serialize>(value: &T) -> Result<serde::Value, ServeError> {
+    serde::to_value(value)
+        .map_err(|e| ServeError::Internal(format!("cannot serialize resolved request: {e}")))
+}
+
+fn json_body(text: String) -> Vec<u8> {
+    let mut bytes = text.into_bytes();
+    if bytes.last() != Some(&b'\n') {
+        bytes.push(b'\n');
+    }
+    bytes
+}
+
+/// Resolves a request on a compute route into a [`Prepared`] job.
+///
+/// # Errors
+///
+/// Returns [`ServeError::BadRequest`] for malformed or invalid
+/// parameters; the compute closure reports its own failures.
+pub fn prepare(route: Route, request: &Request) -> Result<Prepared, ServeError> {
+    match route {
+        Route::Cr => prepare_cr(request),
+        Route::Table1 => prepare_table1(request),
+        Route::Scenario => prepare_scenario(request),
+        Route::Supremum => prepare_supremum(request),
+        Route::Healthz | Route::Metrics => {
+            Err(ServeError::Internal(format!("{} is not a compute route", route.label())))
+        }
+    }
+}
+
+fn required_usize(request: &Request, name: &str) -> Result<usize, ServeError> {
+    let raw = request
+        .query_param(name)
+        .ok_or_else(|| ServeError::BadRequest(format!("missing query parameter `{name}`")))?;
+    raw.parse().map_err(|_| {
+        ServeError::BadRequest(format!("query parameter `{name}` must be a non-negative integer"))
+    })
+}
+
+fn prepare_cr(request: &Request) -> Result<Prepared, ServeError> {
+    let query = CrQuery { n: required_usize(request, "n")?, f: required_usize(request, "f")? };
+    // Evaluate eagerly: it is closed-form (microseconds), and doing so
+    // rejects invalid (n, f) with a 400 before anything is cached.
+    let report = query.evaluate().map_err(|e| ServeError::BadRequest(e.to_string()))?;
+    let cache_key = key_for(Route::Cr, &to_resolved_value(&query)?);
+    let compute: Box<dyn FnOnce() -> Result<Vec<u8>, ServeError> + Send> = Box::new(move || {
+        serde_json::to_string_pretty(&report)
+            .map(json_body)
+            .map_err(|e| ServeError::Internal(format!("serialization failed: {e}")))
+    });
+    Ok(Prepared { cache_key, compute })
+}
+
+fn prepare_table1(request: &Request) -> Result<Prepared, ServeError> {
+    let measure = match request.query_param("measure") {
+        None | Some("false" | "0" | "") => false,
+        Some("true" | "1") => true,
+        Some(other) => {
+            return Err(ServeError::BadRequest(format!(
+                "query parameter `measure` must be true or false, got `{other}`"
+            )))
+        }
+    };
+    let grid = match request.query_param("grid") {
+        None => table1::DEFAULT_MEASURE_GRID,
+        Some(raw) => {
+            let grid: usize = raw.parse().map_err(|_| {
+                ServeError::BadRequest(format!(
+                    "query parameter `grid` must be a positive integer, got `{raw}`"
+                ))
+            })?;
+            if !(2..=1_000_000).contains(&grid) {
+                return Err(ServeError::BadRequest(format!(
+                    "query parameter `grid` must be in 2..=1000000, got `{grid}`"
+                )));
+            }
+            grid
+        }
+    };
+    // The grid is part of the resolved request even at its default:
+    // `?measure=true` and `?measure=true&grid=64` are the same entry.
+    let resolved = serde::Value::Object(vec![
+        ("measure".to_owned(), serde::Value::Bool(measure)),
+        ("grid".to_owned(), serde::Value::UInt(grid as u64)),
+    ]);
+    let cache_key = key_for(Route::Table1, &resolved);
+    let compute: Box<dyn FnOnce() -> Result<Vec<u8>, ServeError> + Send> = Box::new(move || {
+        let rows = table1::regenerate_with_grid(measure, grid)?;
+        serde_json::to_string_pretty(&rows)
+            .map(json_body)
+            .map_err(|e| ServeError::Internal(format!("serialization failed: {e}")))
+    });
+    Ok(Prepared { cache_key, compute })
+}
+
+/// Looks up a scenario preset by name.
+fn preset(name: &str) -> Result<Scenario, ServeError> {
+    let json =
+        SCENARIO_PRESETS.iter().find(|(n, _)| *n == name).map(|(_, json)| *json).ok_or_else(
+            || {
+                let known: Vec<&str> = SCENARIO_PRESETS.iter().map(|(n, _)| *n).collect();
+                ServeError::BadRequest(format!(
+                    "unknown scenario preset `{name}` (known: {})",
+                    known.join(", ")
+                ))
+            },
+        )?;
+    Scenario::from_json(json)
+        .map_err(|e| ServeError::Internal(format!("preset `{name}` is invalid: {e}")))
+}
+
+fn prepare_scenario(request: &Request) -> Result<Prepared, ServeError> {
+    if request.body.trim().is_empty() {
+        return Err(ServeError::BadRequest(
+            "expected a JSON body: {\"name\": ...} or a scenario/trace document".to_owned(),
+        ));
+    }
+    let value: serde::Value = serde_json::from_str(&request.body)
+        .map_err(|e| ServeError::BadRequest(format!("malformed JSON body: {e}")))?;
+
+    // Named preset: {"name": "...", "seed": <optional u64>}.
+    if let serde::Value::Object(fields) = &value {
+        if fields.iter().any(|(k, _)| k == "name") {
+            let mut name = None;
+            let mut seed = None;
+            for (key, field) in fields {
+                match (key.as_str(), field) {
+                    ("name", serde::Value::String(s)) => name = Some(s.clone()),
+                    ("name", _) => {
+                        return Err(ServeError::BadRequest("`name` must be a string".to_owned()))
+                    }
+                    ("seed", serde::Value::UInt(s)) => seed = Some(*s),
+                    ("seed", serde::Value::Int(s)) if *s >= 0 => seed = Some(*s as u64),
+                    ("seed", _) => {
+                        return Err(ServeError::BadRequest(
+                            "`seed` must be a non-negative integer".to_owned(),
+                        ))
+                    }
+                    (other, _) => {
+                        return Err(ServeError::BadRequest(format!(
+                            "unknown field `{other}` in a named scenario request"
+                        )))
+                    }
+                }
+            }
+            let name = name.expect("checked above");
+            let mut scenario = preset(&name)?;
+            if seed.is_some() {
+                scenario.seed = seed;
+            }
+            scenario.validate().map_err(|e| ServeError::BadRequest(e.to_string()))?;
+            let cache_key = key_for(Route::Scenario, &to_resolved_value(&scenario)?);
+            let compute: Box<dyn FnOnce() -> Result<Vec<u8>, ServeError> + Send> =
+                Box::new(move || Ok(json_body(results_to_json(&scenario.run()?)?)));
+            return Ok(Prepared { cache_key, compute });
+        }
+    }
+
+    // Full declarative scenario: resolve it so defaults (strategy,
+    // seed) land in the cache key.
+    if let Ok(scenario) = Scenario::from_json(&request.body) {
+        let cache_key = key_for(Route::Scenario, &to_resolved_value(&scenario)?);
+        let compute: Box<dyn FnOnce() -> Result<Vec<u8>, ServeError> + Send> =
+            Box::new(move || Ok(json_body(results_to_json(&scenario.run()?)?)));
+        return Ok(Prepared { cache_key, compute });
+    }
+
+    // Recorded trace: replayed and verified by `run_document`. The raw
+    // (canonicalized) document is the key.
+    if RunTrace::from_json(&request.body).is_ok() {
+        let cache_key = key_for(Route::Scenario, &value);
+        let body = request.body.clone();
+        let compute: Box<dyn FnOnce() -> Result<Vec<u8>, ServeError> + Send> =
+            Box::new(move || Ok(json_body(results_to_json(&run_document(&body)?)?)));
+        return Ok(Prepared { cache_key, compute });
+    }
+
+    // Surface the scenario parser's message — it is the common case.
+    let reason = Scenario::from_json(&request.body)
+        .err()
+        .map_or_else(|| "unrecognized document".to_owned(), |e| e.to_string());
+    Err(ServeError::BadRequest(format!("body is neither a scenario nor a trace: {reason}")))
+}
+
+fn prepare_supremum(request: &Request) -> Result<Prepared, ServeError> {
+    if request.body.trim().is_empty() {
+        return Err(ServeError::BadRequest(
+            "expected a JSON body with at least {\"n\": ..., \"f\": ...}".to_owned(),
+        ));
+    }
+    let query: SupremumQuery = serde_json::from_str(&request.body)
+        .map_err(|e| ServeError::BadRequest(format!("malformed supremum query: {e}")))?;
+    query.validate().map_err(|e| ServeError::BadRequest(e.to_string()))?;
+    let cache_key = key_for(Route::Supremum, &to_resolved_value(&query)?);
+    let compute: Box<dyn FnOnce() -> Result<Vec<u8>, ServeError> + Send> = Box::new(move || {
+        let report = query.run()?;
+        serde_json::to_string_pretty(&report)
+            .map(json_body)
+            .map_err(|e| ServeError::Internal(format!("serialization failed: {e}")))
+    });
+    Ok(Prepared { cache_key, compute })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(path: &str, query: &[(&str, &str)]) -> Request {
+        Request {
+            method: "GET".to_owned(),
+            path: path.to_owned(),
+            query: query.iter().map(|(k, v)| ((*k).to_owned(), (*v).to_owned())).collect(),
+            body: String::new(),
+        }
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".to_owned(),
+            path: path.to_owned(),
+            query: Vec::new(),
+            body: body.to_owned(),
+        }
+    }
+
+    #[test]
+    fn cr_resolves_and_computes() {
+        let prepared =
+            prepare(Route::Cr, &get("/v1/cr", &[("n", "3"), ("f", "1")])).expect("valid");
+        assert!(prepared.cache_key.starts_with("/v1/cr|"));
+        let body = (prepared.compute)().expect("closed form");
+        let text = String::from_utf8(body).unwrap();
+        assert!(text.contains("\"cr_upper\""), "got: {text}");
+    }
+
+    #[test]
+    fn cr_rejects_missing_and_invalid_params() {
+        assert!(matches!(
+            prepare(Route::Cr, &get("/v1/cr", &[("n", "3")])),
+            Err(ServeError::BadRequest(_))
+        ));
+        assert!(
+            matches!(
+                prepare(Route::Cr, &get("/v1/cr", &[("n", "2"), ("f", "2")])),
+                Err(ServeError::BadRequest(_)),
+            ),
+            "f >= n is invalid"
+        );
+    }
+
+    #[test]
+    fn equivalent_cr_spellings_share_a_key() {
+        let a = prepare(Route::Cr, &get("/v1/cr", &[("n", "3"), ("f", "1")])).unwrap();
+        let b = prepare(Route::Cr, &get("/v1/cr", &[("f", "1"), ("n", "3")])).unwrap();
+        assert_eq!(a.cache_key, b.cache_key, "query order is canonicalized away");
+    }
+
+    #[test]
+    fn all_presets_are_valid_and_named_requests_resolve() {
+        for (name, _) in SCENARIO_PRESETS {
+            let prepared = prepare(
+                Route::Scenario,
+                &post("/v1/scenario", &format!("{{\"name\": \"{name}\"}}")),
+            )
+            .unwrap_or_else(|e| panic!("preset {name}: {e:?}"));
+            assert!(prepared.cache_key.starts_with("/v1/scenario|"));
+        }
+    }
+
+    #[test]
+    fn seeds_produce_distinct_cache_keys() {
+        let base = post("/v1/scenario", r#"{"name": "randomized"}"#);
+        let k0 = prepare(Route::Scenario, &base).unwrap().cache_key;
+        let k7 =
+            prepare(Route::Scenario, &post("/v1/scenario", r#"{"name": "randomized", "seed": 7}"#))
+                .unwrap()
+                .cache_key;
+        let k8 =
+            prepare(Route::Scenario, &post("/v1/scenario", r#"{"name": "randomized", "seed": 8}"#))
+                .unwrap()
+                .cache_key;
+        assert_ne!(k7, k8);
+        assert_ne!(k0, k7);
+    }
+
+    #[test]
+    fn seed_on_deterministic_preset_is_rejected() {
+        let result =
+            prepare(Route::Scenario, &post("/v1/scenario", r#"{"name": "smoke", "seed": 1}"#));
+        assert!(matches!(result, Err(ServeError::BadRequest(_))));
+    }
+
+    #[test]
+    fn unknown_preset_lists_known_names() {
+        let Err(err) = prepare(Route::Scenario, &post("/v1/scenario", r#"{"name": "nope"}"#))
+        else {
+            panic!("unknown preset must be rejected")
+        };
+        assert!(err.message().contains("smoke"), "got: {}", err.message());
+    }
+
+    #[test]
+    fn full_scenario_document_resolves_defaults_into_key() {
+        let explicit = post(
+            "/v1/scenario",
+            r#"{"n": 3, "f": 1, "strategy": "paper", "targets": [2.0, -4.5]}"#,
+        );
+        let implicit = post("/v1/scenario", r#"{"n": 3, "f": 1, "targets": [2.0, -4.5]}"#);
+        let a = prepare(Route::Scenario, &explicit).unwrap().cache_key;
+        let b = prepare(Route::Scenario, &implicit).unwrap().cache_key;
+        assert_eq!(a, b, "the default strategy is resolved before keying");
+    }
+
+    #[test]
+    fn supremum_body_resolves_defaults() {
+        let a = prepare(Route::Supremum, &post("/v1/supremum", r#"{"n": 3, "f": 1}"#)).unwrap();
+        let b = prepare(
+            Route::Supremum,
+            &post("/v1/supremum", r#"{"f": 1, "n": 3, "strategy": "paper"}"#),
+        )
+        .unwrap();
+        assert_eq!(a.cache_key, b.cache_key);
+        let body = (a.compute)().expect("small scan");
+        assert!(String::from_utf8(body).unwrap().contains("\"measured\""));
+    }
+
+    #[test]
+    fn table1_measure_flag_changes_the_key() {
+        let plain = prepare(Route::Table1, &get("/v1/table1", &[])).unwrap();
+        let measured = prepare(Route::Table1, &get("/v1/table1", &[("measure", "true")])).unwrap();
+        assert_ne!(plain.cache_key, measured.cache_key);
+        assert!(matches!(
+            prepare(Route::Table1, &get("/v1/table1", &[("measure", "yes")])),
+            Err(ServeError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn table1_grid_is_part_of_the_resolved_request() {
+        let default_grid = prepare(Route::Table1, &get("/v1/table1", &[])).unwrap();
+        let explicit_default =
+            prepare(Route::Table1, &get("/v1/table1", &[("grid", "64")])).unwrap();
+        assert_eq!(
+            default_grid.cache_key, explicit_default.cache_key,
+            "spelling out the default grid is the same request"
+        );
+        let finer = prepare(Route::Table1, &get("/v1/table1", &[("grid", "1024")])).unwrap();
+        assert_ne!(default_grid.cache_key, finer.cache_key);
+        for bad in ["0", "1", "1000001", "-3", "lots"] {
+            assert!(
+                matches!(
+                    prepare(Route::Table1, &get("/v1/table1", &[("grid", bad)])),
+                    Err(ServeError::BadRequest(_))
+                ),
+                "grid `{bad}` must be rejected"
+            );
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Minimal HTTP/1.1 support over `std::net::TcpStream`: request
+//! parsing with size limits, percent-decoded query strings, and
+//! response writing. One request per connection (`Connection: close`),
+//! which keeps the state machine trivial and is exactly what the
+//! loopback client and tests speak.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body.
+const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), uppercased.
+    pub method: String,
+    /// Decoded path without the query string (e.g. `/v1/cr`).
+    pub path: String,
+    /// Percent-decoded query parameters in request order.
+    pub query: Vec<(String, String)>,
+    /// Request body (empty when absent).
+    pub body: String,
+}
+
+impl Request {
+    /// The first query parameter named `key`, if present.
+    #[must_use]
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// A request that could not be parsed, with the status code to answer.
+#[derive(Debug, Clone)]
+pub struct ParseError {
+    /// HTTP status code to respond with (400 or 413).
+    pub status: u16,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl ParseError {
+    fn bad(message: impl Into<String>) -> Self {
+        ParseError { status: 400, message: message.into() }
+    }
+
+    fn too_large(message: impl Into<String>) -> Self {
+        ParseError { status: 413, message: message.into() }
+    }
+}
+
+/// Decodes `%XX` escapes and `+` in a query component.
+fn percent_decode(text: &str) -> String {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    std::str::from_utf8(h).ok().and_then(|h| u8::from_str_radix(h, 16).ok())
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Splits a query string into decoded key/value pairs.
+fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| match part.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(part), String::new()),
+        })
+        .collect()
+}
+
+/// Reads and parses one HTTP request from the stream.
+///
+/// # Errors
+///
+/// The outer `Err` is an I/O failure (peer went away); the inner
+/// [`ParseError`] is a malformed or oversized request that should be
+/// answered with its status code.
+pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Result<Request, ParseError>> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut head_bytes = 0usize;
+    reader.read_line(&mut line)?;
+    head_bytes += line.len();
+    let mut parts = line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/1") => (m.to_uppercase(), t.to_owned()),
+        _ => return Ok(Err(ParseError::bad(format!("malformed request line: {}", line.trim())))),
+    };
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Ok(Err(ParseError::bad("unexpected end of headers")));
+        }
+        head_bytes += header.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Ok(Err(ParseError::too_large("request head exceeds 16 KiB")));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = match value.trim().parse() {
+                    Ok(v) => v,
+                    Err(_) => {
+                        return Ok(Err(ParseError::bad(format!(
+                            "invalid Content-Length `{}`",
+                            value.trim()
+                        ))))
+                    }
+                };
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Ok(Err(ParseError::too_large("request body exceeds 1 MiB")));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = match String::from_utf8(body) {
+        Ok(text) => text,
+        Err(_) => return Ok(Err(ParseError::bad("request body is not valid UTF-8"))),
+    };
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), parse_query(q)),
+        None => (target, Vec::new()),
+    };
+    Ok(Ok(Request { method, path: percent_decode(&path), query, body }))
+}
+
+/// The standard reason phrase for the status codes the service emits.
+#[must_use]
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete HTTP/1.1 response and flushes the stream.
+///
+/// # Errors
+///
+/// Propagates stream write failures (the peer may have hung up).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason_phrase(status),
+        body.len(),
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    // One vectored buffer, one write: avoids a Nagle/delayed-ACK
+    // interaction between a separate head and body segment.
+    let mut wire = Vec::with_capacity(head.len() + body.len());
+    wire.extend_from_slice(head.as_bytes());
+    wire.extend_from_slice(body);
+    stream.write_all(&wire)?;
+    stream.flush()
+}
+
+/// Writes a JSON error body `{"error": ...}` with the given status.
+///
+/// # Errors
+///
+/// Propagates stream write failures.
+pub fn write_error(
+    stream: &mut TcpStream,
+    status: u16,
+    message: &str,
+    extra_headers: &[(&str, String)],
+) -> std::io::Result<()> {
+    let body = serde_json::to_string(&serde::Value::Object(vec![(
+        "error".to_owned(),
+        serde::Value::String(message.to_owned()),
+    )]))
+    .unwrap_or_else(|_| "{\"error\":\"unrepresentable\"}".to_owned())
+        + "\n";
+    write_response(stream, status, "application/json", extra_headers, body.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_strings_decode() {
+        let q = parse_query("n=3&f=1&name=two%20words&flag");
+        assert_eq!(q[0], ("n".to_owned(), "3".to_owned()));
+        assert_eq!(q[2], ("name".to_owned(), "two words".to_owned()));
+        assert_eq!(q[3], ("flag".to_owned(), String::new()));
+    }
+
+    #[test]
+    fn percent_decoding_is_permissive() {
+        assert_eq!(percent_decode("a%2Bb"), "a+b");
+        assert_eq!(percent_decode("a+b"), "a b");
+        assert_eq!(percent_decode("bad%zz"), "bad%zz");
+        assert_eq!(percent_decode("trail%"), "trail%");
+    }
+
+    #[test]
+    fn reason_phrases_cover_service_statuses() {
+        for status in [200, 400, 404, 405, 413, 500, 503, 504] {
+            assert_ne!(reason_phrase(status), "Unknown", "status {status}");
+        }
+    }
+}

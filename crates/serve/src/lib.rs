@@ -1,0 +1,113 @@
+//! # faultline-serve
+//!
+//! A dependency-light HTTP/1.1 JSON query service over the faultline
+//! analysis stack, built directly on `std::net::TcpListener`:
+//!
+//! * **Routes** — `GET /v1/cr?n=&f=` (closed-form competitive-ratio
+//!   report), `GET /v1/table1` (regenerated Table 1),
+//!   `POST /v1/scenario` (named presets with explicit seeds, or full
+//!   scenario/trace documents), `POST /v1/supremum` (empirical
+//!   supremum), plus `GET /healthz` and `GET /metrics`.
+//! * **Caching** — a sharded LRU memoization cache keyed on the
+//!   canonical form of the fully-resolved request (including the
+//!   seed); hits are byte-identical to the fresh computation.
+//! * **Backpressure** — a bounded worker pool with a bounded admission
+//!   queue; a full queue answers `503 + Retry-After`, an expired
+//!   per-request deadline answers `504`.
+//! * **Operability** — plain-text metrics, graceful drain on
+//!   SIGINT/SIGTERM.
+//!
+//! The binary surface lives in the `faultline` CLI (`faultline serve`,
+//! `faultline query`); this crate is the library behind it.
+
+pub mod cache;
+pub mod client;
+pub mod config;
+pub mod handlers;
+pub mod http;
+pub mod metrics;
+pub mod pool;
+pub mod router;
+pub mod server;
+pub mod signal;
+
+pub use cache::ResponseCache;
+pub use config::{ServeConfig, DEFAULT_ADDR};
+pub use metrics::Metrics;
+pub use server::{Server, ServerHandle, ServerState};
+
+/// A request-level failure with its HTTP status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The client sent something invalid (400).
+    BadRequest(String),
+    /// The service failed internally (500).
+    Internal(String),
+}
+
+impl ServeError {
+    /// The HTTP status code this error answers with.
+    #[must_use]
+    pub fn status(&self) -> u16 {
+        match self {
+            ServeError::BadRequest(_) => 400,
+            ServeError::Internal(_) => 500,
+        }
+    }
+
+    /// The human-readable message.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        match self {
+            ServeError::BadRequest(message) | ServeError::Internal(message) => message,
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {}: {}",
+            self.status(),
+            crate::http::reason_phrase(self.status()),
+            self.message()
+        )
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<faultline_core::Error> for ServeError {
+    fn from(error: faultline_core::Error) -> Self {
+        use faultline_core::Error;
+        match &error {
+            // Client-attributable: bad parameters or a document whose
+            // contents fail domain checks (e.g. a diverging trace).
+            Error::InvalidParameters { .. } | Error::InvalidBeta { .. } | Error::Domain { .. } => {
+                ServeError::BadRequest(error.to_string())
+            }
+            _ => ServeError::Internal(error.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statuses_match_variants() {
+        assert_eq!(ServeError::BadRequest("x".into()).status(), 400);
+        assert_eq!(ServeError::Internal("x".into()).status(), 500);
+        assert_eq!(ServeError::BadRequest("nope".into()).to_string(), "400 Bad Request: nope");
+    }
+
+    #[test]
+    fn core_errors_map_onto_statuses() {
+        let invalid = faultline_core::Params::new(2, 2).expect_err("f >= n");
+        assert_eq!(ServeError::from(invalid).status(), 400);
+        let domain = faultline_core::Error::domain("diverged");
+        assert_eq!(ServeError::from(domain).status(), 400);
+    }
+}

@@ -1,0 +1,201 @@
+//! Service metrics: request counts by route and status, a latency
+//! histogram, cache statistics, queue depth and worker utilization,
+//! rendered as a plain-text document for `GET /metrics`
+//! (Prometheus-style exposition, one `name{labels} value` per line).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::cache::ResponseCache;
+
+/// Upper bounds (milliseconds) of the latency histogram buckets; the
+/// final implicit bucket is `+Inf`.
+pub const LATENCY_BUCKETS_MS: [u64; 10] = [1, 2, 5, 10, 25, 50, 100, 250, 1000, 5000];
+
+/// Shared service metrics. All counters are monotonically increasing;
+/// gauges reflect the current state.
+pub struct Metrics {
+    requests: Mutex<BTreeMap<(String, u16), u64>>,
+    latency_buckets: [AtomicU64; LATENCY_BUCKETS_MS.len() + 1],
+    latency_count: AtomicU64,
+    latency_sum_us: AtomicU64,
+    rejected_total: AtomicU64,
+    timeout_total: AtomicU64,
+    queue_depth: AtomicUsize,
+    workers_busy: AtomicUsize,
+    workers_total: usize,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics for a pool of `workers_total` workers.
+    #[must_use]
+    pub fn new(workers_total: usize) -> Self {
+        Metrics {
+            requests: Mutex::new(BTreeMap::new()),
+            latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency_count: AtomicU64::new(0),
+            latency_sum_us: AtomicU64::new(0),
+            rejected_total: AtomicU64::new(0),
+            timeout_total: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+            workers_busy: AtomicUsize::new(0),
+            workers_total,
+        }
+    }
+
+    /// Records one completed request: route label, response status and
+    /// end-to-end latency.
+    pub fn observe(&self, route: &str, status: u16, latency: Duration) {
+        *self
+            .requests
+            .lock()
+            .expect("metrics map poisoned")
+            .entry((route.to_owned(), status))
+            .or_insert(0) += 1;
+        let ms = latency.as_millis() as u64;
+        let bucket = LATENCY_BUCKETS_MS.iter().position(|&bound| ms <= bound);
+        let index = bucket.unwrap_or(LATENCY_BUCKETS_MS.len());
+        self.latency_buckets[index].fetch_add(1, Ordering::Relaxed);
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us.fetch_add(latency.as_micros() as u64, Ordering::Relaxed);
+        if status == 503 {
+            self.rejected_total.fetch_add(1, Ordering::Relaxed);
+        }
+        if status == 504 {
+            self.timeout_total.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Sets the admission-queue depth gauge.
+    pub fn set_queue_depth(&self, depth: usize) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// Marks one worker as busy (on job start).
+    pub fn worker_busy(&self) {
+        self.workers_busy.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks one worker as idle (on job end).
+    pub fn worker_idle(&self) {
+        self.workers_busy.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// The number of workers currently executing a job.
+    #[must_use]
+    pub fn workers_busy(&self) -> usize {
+        self.workers_busy.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative count of requests answered with `status` on `route`.
+    #[must_use]
+    pub fn requests_for(&self, route: &str, status: u16) -> u64 {
+        *self
+            .requests
+            .lock()
+            .expect("metrics map poisoned")
+            .get(&(route.to_owned(), status))
+            .unwrap_or(&0)
+    }
+
+    /// Renders the plain-text metrics document.
+    #[must_use]
+    pub fn render(&self, cache: &ResponseCache) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("# faultline-serve metrics\n");
+
+        out.push_str("# TYPE faultline_requests_total counter\n");
+        for ((route, status), count) in self.requests.lock().expect("metrics map poisoned").iter() {
+            out.push_str(&format!(
+                "faultline_requests_total{{route=\"{route}\",status=\"{status}\"}} {count}\n"
+            ));
+        }
+
+        out.push_str("# TYPE faultline_request_latency_ms histogram\n");
+        let mut cumulative = 0u64;
+        for (i, bound) in LATENCY_BUCKETS_MS.iter().enumerate() {
+            cumulative += self.latency_buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "faultline_request_latency_ms_bucket{{le=\"{bound}\"}} {cumulative}\n"
+            ));
+        }
+        cumulative += self.latency_buckets[LATENCY_BUCKETS_MS.len()].load(Ordering::Relaxed);
+        out.push_str(&format!("faultline_request_latency_ms_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+        out.push_str(&format!(
+            "faultline_request_latency_ms_count {}\n",
+            self.latency_count.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "faultline_request_latency_ms_sum_us {}\n",
+            self.latency_sum_us.load(Ordering::Relaxed)
+        ));
+
+        out.push_str("# TYPE faultline_cache counters and gauges\n");
+        out.push_str(&format!("faultline_cache_hits_total {}\n", cache.hits()));
+        out.push_str(&format!("faultline_cache_misses_total {}\n", cache.misses()));
+        out.push_str(&format!("faultline_cache_insertions_total {}\n", cache.insertions()));
+        out.push_str(&format!("faultline_cache_hit_ratio {:.6}\n", cache.hit_ratio()));
+        out.push_str(&format!("faultline_cache_bytes {}\n", cache.live_bytes()));
+        out.push_str(&format!("faultline_cache_entries {}\n", cache.live_entries()));
+
+        out.push_str("# TYPE faultline_pool gauges\n");
+        out.push_str(&format!(
+            "faultline_queue_depth {}\n",
+            self.queue_depth.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "faultline_rejected_total {}\n",
+            self.rejected_total.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "faultline_timeout_total {}\n",
+            self.timeout_total.load(Ordering::Relaxed)
+        ));
+        let busy = self.workers_busy.load(Ordering::Relaxed);
+        out.push_str(&format!("faultline_workers_busy {busy}\n"));
+        out.push_str(&format!("faultline_workers_total {}\n", self.workers_total));
+        let utilization =
+            if self.workers_total == 0 { 0.0 } else { busy as f64 / self.workers_total as f64 };
+        out.push_str(&format!("faultline_worker_utilization {utilization:.6}\n"));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observations_land_in_buckets_and_counters() {
+        let metrics = Metrics::new(4);
+        metrics.observe("/v1/cr", 200, Duration::from_millis(3));
+        metrics.observe("/v1/cr", 200, Duration::from_millis(3));
+        metrics.observe("/v1/scenario", 503, Duration::from_micros(200));
+        metrics.observe("/v1/supremum", 504, Duration::from_secs(10));
+        assert_eq!(metrics.requests_for("/v1/cr", 200), 2);
+        assert_eq!(metrics.requests_for("/v1/scenario", 503), 1);
+        assert_eq!(metrics.rejected_total.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.timeout_total.load(Ordering::Relaxed), 1);
+
+        let cache = ResponseCache::new(1024, 2);
+        let text = metrics.render(&cache);
+        assert!(text.contains("faultline_requests_total{route=\"/v1/cr\",status=\"200\"} 2"));
+        assert!(text.contains("faultline_request_latency_ms_bucket{le=\"5\"} 3"));
+        assert!(text.contains("faultline_request_latency_ms_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("faultline_queue_depth 0"));
+        assert!(text.contains("faultline_workers_total 4"));
+    }
+
+    #[test]
+    fn worker_gauges_track_busy_count() {
+        let metrics = Metrics::new(2);
+        metrics.worker_busy();
+        let cache = ResponseCache::new(16, 1);
+        assert!(metrics.render(&cache).contains("faultline_workers_busy 1"));
+        assert!(metrics.render(&cache).contains("faultline_worker_utilization 0.5"));
+        metrics.worker_idle();
+        assert!(metrics.render(&cache).contains("faultline_workers_busy 0"));
+    }
+}

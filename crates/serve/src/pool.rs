@@ -1,0 +1,257 @@
+//! Bounded worker pool with an admission queue.
+//!
+//! The accept loop resolves and validates requests, then submits a
+//! [`Job`] here. `try_submit` never blocks: when the queue is at
+//! capacity the caller answers `503 Service Unavailable` with a
+//! `Retry-After` header instead (backpressure, not buffering).
+//!
+//! Each worker executes one job at a time. The job's compute closure
+//! runs on a watchdog thread so the worker can enforce the per-request
+//! deadline with `recv_timeout`: on expiry the client gets
+//! `504 Gateway Timeout` immediately while the abandoned computation
+//! finishes in the background and still warms the response cache (the
+//! closure inserts its result itself).
+
+use std::collections::VecDeque;
+use std::net::TcpStream;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, RecvTimeoutError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::http;
+use crate::metrics::Metrics;
+use crate::ServeError;
+
+/// An admitted request waiting for (or undergoing) computation.
+pub struct Job {
+    /// The connection to answer on.
+    pub stream: TcpStream,
+    /// Route label for metrics.
+    pub route: &'static str,
+    /// Computes the response body (and inserts it into the cache).
+    pub compute: Box<dyn FnOnce() -> Result<Vec<u8>, ServeError> + Send>,
+    /// When the request was read off the socket.
+    pub received: Instant,
+    /// Admission deadline; expired jobs answer 504 without computing.
+    pub deadline: Instant,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+struct QueueInner {
+    state: Mutex<QueueState>,
+    available: Condvar,
+    capacity: usize,
+    metrics: Arc<Metrics>,
+}
+
+/// The bounded worker pool. Shared behind an `Arc` between the accept
+/// loop (drain) and per-connection threads (submit).
+pub struct WorkerPool {
+    inner: Arc<QueueInner>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers sharing an admission queue of
+    /// `capacity` jobs.
+    #[must_use]
+    pub fn new(threads: usize, capacity: usize, metrics: Arc<Metrics>) -> Self {
+        let inner = Arc::new(QueueInner {
+            state: Mutex::new(QueueState { jobs: VecDeque::new(), closed: false }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+            metrics,
+        });
+        let handles = (0..threads.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("faultline-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawning a pool worker cannot fail")
+            })
+            .collect();
+        WorkerPool { inner, handles: Mutex::new(handles) }
+    }
+
+    /// Admits a job without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the job back when the queue is at capacity or the pool
+    /// is draining; the caller answers 503.
+    pub fn try_submit(&self, job: Job) -> Result<(), Job> {
+        let mut state = self.inner.state.lock().expect("pool queue poisoned");
+        if state.closed || state.jobs.len() >= self.inner.capacity {
+            return Err(job);
+        }
+        state.jobs.push_back(job);
+        self.inner.metrics.set_queue_depth(state.jobs.len());
+        drop(state);
+        self.inner.available.notify_one();
+        Ok(())
+    }
+
+    /// The number of jobs currently queued (not yet picked up).
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.inner.state.lock().expect("pool queue poisoned").jobs.len()
+    }
+
+    /// Graceful drain: stops admitting, lets the workers finish every
+    /// queued and in-flight job, then joins them. Idempotent.
+    pub fn drain(&self) {
+        {
+            let mut state = self.inner.state.lock().expect("pool queue poisoned");
+            state.closed = true;
+        }
+        self.inner.available.notify_all();
+        let handles: Vec<_> =
+            self.handles.lock().expect("pool handles poisoned").drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &QueueInner) {
+    loop {
+        let job = {
+            let mut state = inner.state.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    inner.metrics.set_queue_depth(state.jobs.len());
+                    break job;
+                }
+                if state.closed {
+                    return;
+                }
+                state = inner.available.wait(state).expect("pool queue poisoned");
+            }
+        };
+        inner.metrics.worker_busy();
+        execute(job, &inner.metrics);
+        inner.metrics.worker_idle();
+    }
+}
+
+/// Runs one job under its deadline and writes the response.
+fn execute(job: Job, metrics: &Metrics) {
+    let Job { mut stream, route, compute, received, deadline } = job;
+    let now = Instant::now();
+    let status = if now >= deadline {
+        let _ = http::write_error(&mut stream, 504, "deadline exceeded while queued", &[]);
+        504
+    } else {
+        let (tx, rx) = channel();
+        // The watchdog thread owns the computation; if the deadline
+        // fires first the result is dropped but the closure has already
+        // warmed the cache for the next request.
+        let spawned = std::thread::Builder::new().name("faultline-serve-compute".to_owned()).spawn(
+            move || {
+                let _ = tx.send(catch_unwind(AssertUnwindSafe(compute)));
+            },
+        );
+        match spawned {
+            Err(e) => {
+                let _ =
+                    http::write_error(&mut stream, 500, &format!("cannot spawn compute: {e}"), &[]);
+                500
+            }
+            Ok(_) => match rx.recv_timeout(deadline - now) {
+                Ok(Ok(Ok(body))) => {
+                    let _ = http::write_response(
+                        &mut stream,
+                        200,
+                        "application/json",
+                        &[("X-Cache", "miss".to_owned())],
+                        &body,
+                    );
+                    200
+                }
+                Ok(Ok(Err(error))) => {
+                    let _ = http::write_error(&mut stream, error.status(), error.message(), &[]);
+                    error.status()
+                }
+                Ok(Err(_panic)) => {
+                    let _ = http::write_error(&mut stream, 500, "computation panicked", &[]);
+                    500
+                }
+                Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
+                    let _ = http::write_error(&mut stream, 504, "deadline exceeded", &[]);
+                    504
+                }
+            },
+        }
+    };
+    metrics.observe(route, status, received.elapsed());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::time::Duration;
+
+    fn dummy_stream() -> TcpStream {
+        // A connected socket pair via a throwaway listener.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let _server_side = listener.accept().unwrap();
+        client
+    }
+
+    fn dummy_job(deadline_from_now: Duration) -> Job {
+        let now = Instant::now();
+        Job {
+            stream: dummy_stream(),
+            route: "/test",
+            compute: Box::new(|| Ok(b"{}".to_vec())),
+            received: now,
+            deadline: now + deadline_from_now,
+        }
+    }
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        // No workers consuming: one slot, second submit bounces.
+        let metrics = Arc::new(Metrics::new(1));
+        let inner = Arc::new(QueueInner {
+            state: Mutex::new(QueueState { jobs: VecDeque::new(), closed: false }),
+            available: Condvar::new(),
+            capacity: 1,
+            metrics,
+        });
+        let pool = WorkerPool { inner, handles: Mutex::new(Vec::new()) };
+        assert!(pool.try_submit(dummy_job(Duration::from_secs(5))).is_ok());
+        assert!(pool.try_submit(dummy_job(Duration::from_secs(5))).is_err());
+        assert_eq!(pool.queue_depth(), 1);
+    }
+
+    #[test]
+    fn drain_finishes_queued_jobs() {
+        let metrics = Arc::new(Metrics::new(2));
+        let pool = WorkerPool::new(2, 8, Arc::clone(&metrics));
+        for _ in 0..4 {
+            pool.try_submit(dummy_job(Duration::from_secs(5))).map_err(|_| "full").unwrap();
+        }
+        pool.drain();
+        assert_eq!(metrics.requests_for("/test", 200), 4, "every queued job was executed");
+    }
+
+    #[test]
+    fn expired_jobs_answer_504_without_computing() {
+        let metrics = Arc::new(Metrics::new(1));
+        let pool = WorkerPool::new(1, 4, Arc::clone(&metrics));
+        pool.try_submit(dummy_job(Duration::ZERO)).map_err(|_| "full").unwrap();
+        pool.drain();
+        assert_eq!(metrics.requests_for("/test", 504), 1);
+    }
+}

@@ -1,0 +1,340 @@
+//! The server: a non-blocking accept loop that polls the shutdown
+//! latch, per-connection threads that parse + resolve requests, an
+//! inline fast path for light work (health, metrics, closed-form `cr`,
+//! and *every* cache hit), and the bounded worker pool for heavy cache
+//! misses. Saturation therefore degrades exactly as advertised: heavy
+//! misses get `503 + Retry-After`, while probes and repeat queries keep
+//! answering.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::cache::ResponseCache;
+use crate::config::ServeConfig;
+use crate::handlers::{self, Prepared};
+use crate::http::{self, Request};
+use crate::metrics::Metrics;
+use crate::pool::{Job, WorkerPool};
+use crate::router::{route, Route, Routed};
+use crate::signal;
+
+/// Metrics label for requests that match no route.
+const UNMATCHED: &str = "unmatched";
+/// How often the waker thread polls the shutdown latches. This bounds
+/// shutdown reaction time, NOT request latency: accepts block.
+const SHUTDOWN_POLL: Duration = Duration::from_millis(25);
+/// Socket read timeout for request parsing (defends the connection
+/// thread against idle peers).
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Everything a connection needs, shared behind one `Arc`.
+pub struct ServerState {
+    /// The configuration the server was built with.
+    pub config: ServeConfig,
+    /// The response cache.
+    pub cache: Arc<ResponseCache>,
+    /// Service metrics.
+    pub metrics: Arc<Metrics>,
+    /// The bounded worker pool.
+    pub pool: Arc<WorkerPool>,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds the listener and builds the cache, metrics and pool.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid configuration or if the address cannot be
+    /// bound.
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        config.validate().map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        let listener = TcpListener::bind(&config.addr)?;
+        let threads = config.resolved_threads();
+        let cache = Arc::new(ResponseCache::new(config.cache_bytes, config.cache_shards));
+        let metrics = Arc::new(Metrics::new(threads));
+        let pool = Arc::new(WorkerPool::new(threads, config.queue_capacity, Arc::clone(&metrics)));
+        Ok(Server { listener, state: Arc::new(ServerState { config, cache, metrics, pool }) })
+    }
+
+    /// The bound address (useful with port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Shared state handle (cache, metrics, pool).
+    #[must_use]
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Runs the accept loop until `shutdown` flips or a termination
+    /// signal arrives, then drains the pool gracefully: no new
+    /// connections are accepted, every admitted job completes.
+    ///
+    /// Accepts are *blocking* (no polling latency on the request
+    /// path); a small waker thread watches the shutdown latches and
+    /// unblocks the final accept with a loopback connection.
+    pub fn run(self, shutdown: Arc<AtomicBool>) {
+        let waker = {
+            let flag = Arc::clone(&shutdown);
+            let addr = self.listener.local_addr().ok();
+            std::thread::Builder::new()
+                .name("faultline-serve-waker".to_owned())
+                .spawn(move || {
+                    while !flag.load(Ordering::SeqCst) && !signal::shutdown_requested() {
+                        std::thread::sleep(SHUTDOWN_POLL);
+                    }
+                    // Latch the programmatic flag (the signal may have
+                    // been the trigger) and unblock the accept call.
+                    flag.store(true, Ordering::SeqCst);
+                    if let Some(addr) = addr {
+                        let _ = TcpStream::connect(addr);
+                    }
+                })
+                .ok()
+        };
+        loop {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    // The wake-up connection (or a request racing the
+                    // shutdown) is dropped unanswered.
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let state = Arc::clone(&self.state);
+                    // One short-lived thread per connection: parsing and
+                    // light work happen here, so a slow peer can never
+                    // wedge the accept loop.
+                    let _ = std::thread::Builder::new()
+                        .name("faultline-serve-conn".to_owned())
+                        .spawn(move || handle_connection(stream, &state));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(1)),
+            }
+        }
+        // Stop accepting before draining so "graceful" means: in-flight
+        // and queued requests finish, new ones are refused.
+        drop(self.listener);
+        if let Some(waker) = waker {
+            let _ = waker.join();
+        }
+        self.state.pool.drain();
+    }
+}
+
+/// A server running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    state: Arc<ServerState>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Binds and runs a server on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Server::bind`] failures.
+    pub fn spawn(config: ServeConfig) -> io::Result<ServerHandle> {
+        let server = Server::bind(config)?;
+        let addr = server.local_addr()?;
+        let state = server.state();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let thread = std::thread::Builder::new()
+            .name("faultline-serve-accept".to_owned())
+            .spawn(move || server.run(flag))?;
+        Ok(ServerHandle { addr, shutdown, state, thread: Some(thread) })
+    }
+
+    /// The bound address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared state handle (cache, metrics, pool).
+    #[must_use]
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Requests a graceful shutdown and waits for the drain to finish.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept call immediately instead of waiting for
+        // the waker's next poll tick.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &ServerState) {
+    let received = Instant::now();
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let request = match http::read_request(&mut stream) {
+        Ok(Ok(request)) => request,
+        Ok(Err(parse_error)) => {
+            let _ = http::write_error(&mut stream, parse_error.status, &parse_error.message, &[]);
+            state.metrics.observe(UNMATCHED, parse_error.status, received.elapsed());
+            return;
+        }
+        Err(_io) => return, // peer went away; nothing to answer
+    };
+    match route(&request.method, &request.path) {
+        Routed::NotFound => {
+            let _ = http::write_error(
+                &mut stream,
+                404,
+                &format!("no route for {} {}", request.method, request.path),
+                &[],
+            );
+            state.metrics.observe(UNMATCHED, 404, received.elapsed());
+        }
+        Routed::MethodNotAllowed(allowed) => {
+            let _ = http::write_error(
+                &mut stream,
+                405,
+                &format!("{} expects {allowed}", request.path),
+                &[("Allow", allowed.to_owned())],
+            );
+            state.metrics.observe(UNMATCHED, 405, received.elapsed());
+        }
+        Routed::Matched(Route::Healthz) => {
+            let _ = http::write_response(
+                &mut stream,
+                200,
+                "application/json",
+                &[],
+                b"{\"status\": \"ok\"}\n",
+            );
+            state.metrics.observe(Route::Healthz.label(), 200, received.elapsed());
+        }
+        Routed::Matched(Route::Metrics) => {
+            let body = state.metrics.render(&state.cache);
+            let _ = http::write_response(
+                &mut stream,
+                200,
+                "text/plain; version=0.0.4",
+                &[],
+                body.as_bytes(),
+            );
+            state.metrics.observe(Route::Metrics.label(), 200, received.elapsed());
+        }
+        Routed::Matched(matched) => {
+            handle_compute(stream, state, matched, &request, received);
+        }
+    }
+}
+
+/// Serves a compute route: resolve, consult the cache, then either
+/// answer inline (hits and light routes) or admit to the pool.
+fn handle_compute(
+    mut stream: TcpStream,
+    state: &ServerState,
+    matched: Route,
+    request: &Request,
+    received: Instant,
+) {
+    let Prepared { cache_key, compute } = match handlers::prepare(matched, request) {
+        Ok(prepared) => prepared,
+        Err(error) => {
+            let _ = http::write_error(&mut stream, error.status(), error.message(), &[]);
+            state.metrics.observe(matched.label(), error.status(), received.elapsed());
+            return;
+        }
+    };
+
+    // Cache hits are answered inline — even on heavy routes — with the
+    // exact bytes the original computation produced.
+    if let Some(body) = state.cache.get(&cache_key) {
+        let _ = http::write_response(
+            &mut stream,
+            200,
+            "application/json",
+            &[("X-Cache", "hit".to_owned())],
+            &body,
+        );
+        state.metrics.observe(matched.label(), 200, received.elapsed());
+        return;
+    }
+
+    // On a miss the computation also populates the cache, so even a
+    // deadline-abandoned job warms it for the next request.
+    let cache = Arc::clone(&state.cache);
+    let compute_and_insert: Box<dyn FnOnce() -> Result<Vec<u8>, crate::ServeError> + Send> =
+        Box::new(move || {
+            let body = compute()?;
+            cache.insert(cache_key, Arc::from(body.clone().into_boxed_slice()));
+            Ok(body)
+        });
+
+    if matched.is_heavy() {
+        let job = Job {
+            stream,
+            route: matched.label(),
+            compute: compute_and_insert,
+            received,
+            deadline: received + state.config.request_timeout,
+        };
+        if let Err(mut job) = state.pool.try_submit(job) {
+            let _ = http::write_error(
+                &mut job.stream,
+                503,
+                "admission queue is full, retry shortly",
+                &[("Retry-After", "1".to_owned())],
+            );
+            state.metrics.observe(matched.label(), 503, received.elapsed());
+        }
+        return;
+    }
+
+    // Light compute (closed-form /v1/cr): answer inline.
+    match compute_and_insert() {
+        Ok(body) => {
+            let _ = http::write_response(
+                &mut stream,
+                200,
+                "application/json",
+                &[("X-Cache", "miss".to_owned())],
+                &body,
+            );
+            state.metrics.observe(matched.label(), 200, received.elapsed());
+        }
+        Err(error) => {
+            let _ = http::write_error(&mut stream, error.status(), error.message(), &[]);
+            state.metrics.observe(matched.label(), error.status(), received.elapsed());
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the canonical request hashing that keys the
+//! response cache: stability under JSON field reordering, numeric
+//! unification, and seed-disjointness of scenario cache entries.
+
+use std::sync::Arc;
+
+use faultline_core::query::{canonical_hash64, canonical_string};
+use faultline_serve::cache::ResponseCache;
+use faultline_serve::handlers::prepare;
+use faultline_serve::http::Request;
+use faultline_serve::router::Route;
+use proptest::prelude::*;
+
+/// Builds an object whose `i`-th field is named `k<i>` with a value of
+/// a kind chosen by `kinds[i]`.
+fn object_from(kinds: &[u32], values: &[i64]) -> Vec<(String, serde::Value)> {
+    kinds
+        .iter()
+        .zip(values)
+        .enumerate()
+        .map(|(i, (kind, &v))| {
+            let value = match kind % 5 {
+                0 => serde::Value::Int(v),
+                1 => serde::Value::Float(v as f64 + 0.5),
+                2 => serde::Value::String(format!("s{v}")),
+                3 => serde::Value::Array(vec![serde::Value::Int(v), serde::Value::Bool(v > 0)]),
+                _ => serde::Value::Object(vec![
+                    ("inner".to_owned(), serde::Value::Int(v)),
+                    ("flag".to_owned(), serde::Value::Null),
+                ]),
+            };
+            (format!("k{i}"), value)
+        })
+        .collect()
+}
+
+fn scenario_request(seed: u64) -> Request {
+    Request {
+        method: "POST".to_owned(),
+        path: "/v1/scenario".to_owned(),
+        query: Vec::new(),
+        body: format!("{{\"name\": \"randomized\", \"seed\": {seed}}}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Reordering an object's fields never changes the canonical
+    /// string (and therefore never changes the 64-bit hash).
+    #[test]
+    fn canonical_form_is_stable_under_field_reordering(
+        kinds in prop::collection::vec(0u32..5, 1usize..8),
+        values in prop::collection::vec(-1000i64..1000, 8),
+        rotation in 0usize..8,
+        reverse in any::<bool>(),
+    ) {
+        let fields = object_from(&kinds, &values[..kinds.len()]);
+        let mut shuffled = fields.clone();
+        shuffled.rotate_left(rotation % fields.len().max(1));
+        if reverse {
+            shuffled.reverse();
+        }
+        let a = serde::Value::Object(fields);
+        let b = serde::Value::Object(shuffled);
+        prop_assert_eq!(canonical_string(&a), canonical_string(&b));
+        prop_assert_eq!(canonical_hash64(&a), canonical_hash64(&b));
+    }
+
+    /// Integral floats and integers canonicalize identically — the
+    /// same request sent with `"n": 3` or `"n": 3.0` shares one entry.
+    #[test]
+    fn integral_floats_unify_with_integers(v in -100_000i64..100_000) {
+        let as_int = serde::Value::Object(vec![("n".to_owned(), serde::Value::Int(v))]);
+        let as_float =
+            serde::Value::Object(vec![("n".to_owned(), serde::Value::Float(v as f64))]);
+        prop_assert_eq!(canonical_string(&as_int), canonical_string(&as_float));
+    }
+
+    /// Non-integral floats must NOT unify with their truncation.
+    #[test]
+    fn fractional_floats_stay_distinct(v in -1000i64..1000) {
+        let exact = serde::Value::Object(vec![("x".to_owned(), serde::Value::Int(v))]);
+        let off =
+            serde::Value::Object(vec![("x".to_owned(), serde::Value::Float(v as f64 + 0.25))]);
+        prop_assert_ne!(canonical_string(&exact), canonical_string(&off));
+    }
+
+    /// Two scenario requests that differ only in their seed resolve to
+    /// different cache keys, and populating the cache under one seed
+    /// never answers a lookup for the other.
+    #[test]
+    fn distinct_seeds_never_share_a_cache_entry(
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+    ) {
+        prop_assume!(seed_a != seed_b);
+        let key_a = prepare(Route::Scenario, &scenario_request(seed_a))
+            .expect("valid request").cache_key;
+        let key_b = prepare(Route::Scenario, &scenario_request(seed_b))
+            .expect("valid request").cache_key;
+        prop_assert_ne!(&key_a, &key_b);
+
+        let cache = ResponseCache::new(1 << 16, 4);
+        cache.insert(key_a.clone(), Arc::from(&b"seed-a-body"[..]));
+        prop_assert!(cache.get(&key_b).is_none(), "seed B must miss");
+        let hit = cache.get(&key_a).expect("seed A must hit");
+        prop_assert_eq!(&hit[..], b"seed-a-body");
+    }
+
+    /// The same seed written as different JSON spellings (field order)
+    /// resolves to the same cache key.
+    #[test]
+    fn seed_requests_are_order_insensitive(seed in any::<u64>()) {
+        let reordered = Request {
+            method: "POST".to_owned(),
+            path: "/v1/scenario".to_owned(),
+            query: Vec::new(),
+            body: format!("{{\"seed\": {seed}, \"name\": \"randomized\"}}"),
+        };
+        let a = prepare(Route::Scenario, &scenario_request(seed)).expect("valid").cache_key;
+        let b = prepare(Route::Scenario, &reordered).expect("valid").cache_key;
+        prop_assert_eq!(a, b);
+    }
+}

@@ -8,6 +8,8 @@
 //! faultline compare <n> <f> [xmax]              # all strategies, measured
 //! faultline spectrum <n> <f> [xmax]             # CR_k for k = 1..n
 //! faultline animate <n> <f> <dt> <until> <file> # CSV position samples
+//! faultline serve [--addr=..] [--threads=..]    # HTTP query service
+//! faultline query <route> [json]                # loopback client
 //! ```
 
 use std::process::ExitCode;
@@ -44,7 +46,10 @@ const USAGE: &str = "usage:
   faultline animate  <n> <f> <dt> <until> <file.csv>
   faultline timeline <n> <f> [horizon] [target]
   faultline scenario <file.json>
-  faultline replay   <trace.json>";
+  faultline replay   <trace.json>
+  faultline serve    [--addr=HOST:PORT] [--threads=N] [--cache-bytes=N]
+                     [--queue=N] [--timeout-secs=N]
+  faultline query    <route> [json body] [--addr=HOST:PORT]";
 
 fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let command = args.first().map(String::as_str).ok_or("missing command")?;
@@ -58,6 +63,8 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "timeline" => timeline(parse_params(args)?, &args[3..]),
         "scenario" => scenario(&args[1..]),
         "replay" => replay(&args[1..]),
+        "serve" => serve(&args[1..]),
+        "query" => query(&args[1..]),
         other => Err(format!("unknown command `{other}`").into()),
     }
 }
@@ -255,6 +262,61 @@ fn replay(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let results = faultline_suite::scenario::run_document(&json)?;
     eprintln!("replay matches the recorded outcome bit-for-bit");
     println!("{}", faultline_suite::scenario::results_to_json(&results)?);
+    Ok(())
+}
+
+fn serve(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use faultline_serve::{signal, ServeConfig, Server};
+    let mut config = ServeConfig::default();
+    for arg in rest {
+        if let Some(addr) = arg.strip_prefix("--addr=") {
+            config.addr = addr.to_owned();
+        } else if let Some(threads) = arg.strip_prefix("--threads=") {
+            config.threads = Some(threads.parse()?);
+        } else if let Some(bytes) = arg.strip_prefix("--cache-bytes=") {
+            config.cache_bytes = bytes.parse()?;
+        } else if let Some(depth) = arg.strip_prefix("--queue=") {
+            config.queue_capacity = depth.parse()?;
+        } else if let Some(secs) = arg.strip_prefix("--timeout-secs=") {
+            config.request_timeout = std::time::Duration::from_secs(secs.parse()?);
+        } else {
+            return Err(format!("unknown serve flag `{arg}`").into());
+        }
+    }
+    signal::install();
+    let server = Server::bind(config.clone())?;
+    eprintln!(
+        "faultline-serve listening on http://{} ({} workers, {} MiB cache, queue {})",
+        server.local_addr()?,
+        config.resolved_threads(),
+        config.cache_bytes / (1024 * 1024),
+        config.queue_capacity,
+    );
+    eprintln!("routes: /healthz /metrics /v1/cr /v1/table1 /v1/scenario /v1/supremum");
+    let shutdown = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    server.run(shutdown); // returns after SIGINT/SIGTERM + drain
+    eprintln!("faultline-serve drained and stopped");
+    Ok(())
+}
+
+fn query(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut addr = faultline_serve::DEFAULT_ADDR.to_owned();
+    let mut positional = Vec::new();
+    for arg in rest {
+        if let Some(a) = arg.strip_prefix("--addr=") {
+            addr = a.to_owned();
+        } else {
+            positional.push(arg.as_str());
+        }
+    }
+    let route = positional.first().ok_or("missing <route> (e.g. /v1/cr?n=3&f=1)")?;
+    let body = positional.get(1).copied();
+    let method = if body.is_some() { "POST" } else { "GET" };
+    let response = faultline_serve::client::query(&addr, method, route, body)?;
+    print!("{}", response.text());
+    if response.status >= 400 {
+        return Err(format!("{method} {route} answered {}", response.status).into());
+    }
     Ok(())
 }
 

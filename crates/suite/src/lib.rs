@@ -21,9 +21,11 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-pub mod scenario;
-
 pub use faultline_analysis as analysis;
+/// Declarative scenario documents (moved to `faultline-analysis` so the
+/// query service can dispatch scenarios as a library; re-exported here
+/// for compatibility).
+pub use faultline_analysis::scenario;
 pub use faultline_core as core;
 pub use faultline_sim as sim;
 pub use faultline_strategies as strategies;

@@ -44,6 +44,21 @@ impl Value {
     }
 }
 
+// Identity impls so `Value` itself can pass through any API that is
+// generic over `Serialize`/`Deserialize` (e.g. parsing a request body
+// to a `Value` first, then inspecting it).
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.take_value()
+    }
+}
+
 /// The error type used when converting through [`Value`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct ValueError(pub String);
