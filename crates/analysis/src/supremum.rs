@@ -3,7 +3,7 @@
 //! independently, via the discrete-event simulator.
 
 use faultline_core::coverage::{adversarial_targets, Fleet};
-use faultline_core::{json_float, Error, Params, Result};
+use faultline_core::{json_float, Error, FreeSchedule, Params, Result};
 use faultline_strategies::{strategy_by_name, FixedBetaStrategy, Strategy};
 use serde::{Deserialize, Serialize};
 
@@ -242,6 +242,119 @@ pub fn measure_strategy_cr(
     })
 }
 
+/// Measures the competitive ratio of a [`FreeSchedule`] — the inner
+/// worst-case objective of the `faultline-opt` schedule optimizer — by
+/// scanning `K(x) = T_(f+1)(x)/|x|` over the adversarial grid up to
+/// `xmax`, augmented with the mirrored `extra_targets` (typically the
+/// Theorem 2 adversary placements, so a schedule can never look better
+/// than the lower-bound game allows within the window).
+///
+/// The fleet horizon starts from the schedule's own hint and doubles
+/// until every grid target is confirmed (free schedules can defer
+/// coverage arbitrarily late); after eight doublings the scan is
+/// returned as-is, with `uncovered > 0` and an infinite ratio.
+///
+/// # Errors
+///
+/// Rejects `f + 1 > n` (the target can never be confirmed by `f + 1`
+/// distinct robots) and `xmax <= 1`, and propagates materialization
+/// and scan failures.
+pub fn measure_free_schedule_cr(
+    schedule: &FreeSchedule,
+    f: usize,
+    xmax: f64,
+    grid_points: usize,
+    extra_targets: &[f64],
+) -> Result<MeasuredCr> {
+    Ok(measure_free_schedule_profile(schedule, f, xmax, grid_points, extra_targets)?.measured)
+}
+
+/// A [`measure_free_schedule_cr`] measurement augmented with the
+/// *peak pressure*: the fraction of scanned targets whose ratio sits
+/// essentially at the supremum (a power-32 generalized mean of
+/// `ratio / supremum`). The paper's proportional schedules equalize
+/// every peak, which makes the hard supremum a plateau under any
+/// single-robot move; the optimizer uses the pressure as a smooth
+/// tie-breaker so it can first drain non-binding peaks and only then
+/// push the supremum itself down.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FreeScheduleProfile {
+    /// The hard supremum scan.
+    pub measured: MeasuredCr,
+    /// Power-mean mass of near-supremum peaks, in `(0, 1]`; `1.0`
+    /// when the measurement is incomplete or non-finite.
+    pub pressure: f64,
+}
+
+/// Exponent of the pressure's generalized mean: high enough that only
+/// peaks within a fraction of a percent of the supremum contribute.
+const PRESSURE_EXPONENT: i32 = 32;
+
+/// Measures a free schedule's competitive ratio together with its
+/// peak pressure (see [`FreeScheduleProfile`]).
+///
+/// # Errors
+///
+/// Same contract as [`measure_free_schedule_cr`].
+pub fn measure_free_schedule_profile(
+    schedule: &FreeSchedule,
+    f: usize,
+    xmax: f64,
+    grid_points: usize,
+    extra_targets: &[f64],
+) -> Result<FreeScheduleProfile> {
+    if f + 1 > schedule.n() {
+        return Err(Error::invalid_params(
+            schedule.n(),
+            f,
+            "a free schedule needs n >= f + 1 robots to confirm any target",
+        ));
+    }
+    if !(xmax > 1.0) || !xmax.is_finite() {
+        return Err(Error::domain(format!("xmax must be finite and > 1, got {xmax}")));
+    }
+    let plans = schedule.plans();
+    let pad = 1.0 + 2.0 * TURNING_POINT_EPS;
+    let mut horizon = schedule.horizon_hint(xmax * pad).max(4.0 * xmax);
+    let mut attempt = 0usize;
+    loop {
+        let fleet = Fleet::from_plans(&plans, horizon)?;
+        let mut targets = fleet_targets(&fleet, xmax, grid_points)?;
+        for &x in extra_targets {
+            let m = x.abs();
+            if m >= 1.0 && m <= xmax * pad {
+                targets.push(m);
+                targets.push(-m);
+            }
+        }
+        targets.sort_by(f64::total_cmp);
+        targets.dedup();
+        let scan = fleet.supremum(&targets, f + 1)?;
+        if scan.uncovered == 0 || attempt >= 8 {
+            let measured = MeasuredCr {
+                analytic: None,
+                empirical: scan.ratio,
+                argmax: scan.argmax,
+                uncovered: scan.uncovered,
+            };
+            let pressure = if scan.uncovered == 0 && scan.ratio.is_finite() && scan.ratio > 0.0 {
+                let mut mass = 0.0;
+                for &x in &targets {
+                    if let Some(r) = fleet.ratio_at(x, f + 1)? {
+                        mass += (r / scan.ratio).powi(PRESSURE_EXPONENT);
+                    }
+                }
+                mass / targets.len() as f64
+            } else {
+                1.0
+            };
+            return Ok(FreeScheduleProfile { measured, pressure });
+        }
+        horizon *= 2.0;
+        attempt += 1;
+    }
+}
+
 /// Measures the competitive ratio of a strategy through the
 /// discrete-event simulator with the worst-case fault adversary — an
 /// execution path entirely independent of [`measure_strategy_cr`].
@@ -404,6 +517,77 @@ mod tests {
         let m = measure_strategy_cr(&PessimalSplitStrategy::new(), params, 10.0, 20).unwrap();
         assert!(m.empirical.is_infinite());
         assert!(m.uncovered > 0);
+    }
+
+    #[test]
+    fn lowered_proportional_free_schedule_measures_at_theorem1() {
+        use faultline_core::{ratio, ProportionalSchedule};
+        for (n, f) in [(3usize, 1usize), (5, 3), (4, 2)] {
+            let params = Params::new(n, f).unwrap();
+            let beta = ratio::optimal_beta(params).unwrap();
+            let schedule = ProportionalSchedule::new(n, beta).unwrap();
+            let free = FreeSchedule::from_proportional(&schedule, 10).unwrap();
+            let analytic = ratio::cr_upper(params);
+            let m = measure_free_schedule_cr(&free, f, 25.0, 64, &[]).unwrap();
+            assert_eq!(m.uncovered, 0, "(n = {n}, f = {f})");
+            assert!(
+                m.empirical <= analytic + 1e-9,
+                "(n = {n}, f = {f}): free-schedule measurement {} above Theorem 1 {analytic}",
+                m.empirical
+            );
+            assert!(m.empirical >= analytic - 1e-2, "(n = {n}, f = {f}): {}", m.empirical);
+        }
+    }
+
+    #[test]
+    fn free_schedule_measurement_validates_inputs() {
+        use faultline_core::FreeRobot;
+        let one_robot =
+            FreeSchedule::new(vec![FreeRobot::new(1.0, vec![1.0, 2.0], 1.0).unwrap()]).unwrap();
+        assert!(measure_free_schedule_cr(&one_robot, 1, 10.0, 16, &[]).is_err(), "f + 1 > n");
+        assert!(measure_free_schedule_cr(&one_robot, 0, 1.0, 16, &[]).is_err(), "xmax <= 1");
+        assert!(measure_free_schedule_cr(&one_robot, 0, f64::NAN, 16, &[]).is_err());
+        // A single doubling robot with f = 0 is the classic cow path:
+        // measured CR <= 9 within any window.
+        let m = measure_free_schedule_cr(&one_robot, 0, 30.0, 32, &[]).unwrap();
+        assert_eq!(m.uncovered, 0);
+        assert!(m.empirical <= 9.0 + 1e-9, "doubling measures {}", m.empirical);
+    }
+
+    #[test]
+    fn deferred_coverage_doubles_the_horizon_until_confirmed() {
+        use faultline_core::FreeRobot;
+        // The second robot dawdles: it reaches its first turn only at
+        // t = 5000, far beyond the initial horizon hint for xmax = 10,
+        // so confirmation (f + 1 = 2 distinct visits) of every target
+        // needs the measurement loop to deepen the fleet. The measured
+        // ratio is finite but dominated by the dawdler.
+        let schedule = FreeSchedule::new(vec![
+            FreeRobot::new(1.0, vec![1.0, 2.0], 1.0).unwrap(),
+            FreeRobot::new(-1.0, vec![1.0, 2.0], 5000.0).unwrap(),
+        ])
+        .unwrap();
+        let m = measure_free_schedule_cr(&schedule, 1, 10.0, 16, &[]).unwrap();
+        assert_eq!(m.uncovered, 0, "horizon doubling must eventually confirm the window");
+        assert!(m.empirical.is_finite());
+        assert!(m.empirical > 500.0, "the dawdler dominates: {}", m.empirical);
+    }
+
+    #[test]
+    fn extra_targets_sharpen_the_measurement() {
+        use faultline_core::lower_bound;
+        use faultline_core::{ratio, ProportionalSchedule};
+        // Theorem 2 adversary points land inside the grid and the
+        // measurement stays consistent with the lower bound.
+        let params = Params::new(3, 1).unwrap();
+        let beta = ratio::optimal_beta(params).unwrap();
+        let schedule = ProportionalSchedule::new(3, beta).unwrap();
+        let free = FreeSchedule::from_proportional(&schedule, 8).unwrap();
+        let alpha = lower_bound::alpha(3).unwrap();
+        let adversary = lower_bound::adversary_points(3, alpha).unwrap();
+        let m = measure_free_schedule_cr(&free, 1, 25.0, 48, &adversary).unwrap();
+        assert_eq!(m.uncovered, 0);
+        assert!(m.empirical >= alpha, "measured {} below alpha(3) = {alpha}", m.empirical);
     }
 
     #[test]

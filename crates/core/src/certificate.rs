@@ -121,6 +121,47 @@ pub fn certify_alpha(n: usize) -> Result<Certificate> {
     Err(Error::numerical(format!("could not certify alpha({n}) to width 1e-6")))
 }
 
+/// Certifies the *binding* lower bound on the competitive ratio for
+/// `(n, f)` — the certified counterpart of
+/// [`crate::lower_bound::lower_bound`]:
+///
+/// * `n >= 2f + 2`: the exact `[1, 1]` (two-group optimality),
+/// * `n == f + 1`: `[9 - 1e-9, 9]` — the single-robot reduction's
+///   exact bound 9, padded one measurement epsilon outward so
+///   empirical suprema that equalize the bound to float precision
+///   still sit inside the enclosure,
+/// * otherwise: the [`certify_alpha`] enclosure of Theorem 2's root.
+///
+/// Note that for `n == f + 1` the Theorem 2 root `alpha(n)` is also a
+/// valid lower bound, but it is dominated by 9: any measurement below
+/// this certificate's `lo` is evidence of window under-measurement,
+/// never of a real sub-9 schedule.
+///
+/// # Errors
+///
+/// Propagates [`certify_alpha`] failures.
+pub fn certify_lower_bound(params: Params) -> Result<Certificate> {
+    if params.regime() == Regime::TwoGroup {
+        return Ok(Certificate {
+            quantity: format!("lower bound for ({}, {}) (two-group)", params.n(), params.f()),
+            lo: 1.0,
+            hi: 1.0,
+        });
+    }
+    if params.n() == params.f() + 1 {
+        return Ok(Certificate {
+            quantity: format!(
+                "lower bound for ({}, {}) (single-robot reduction)",
+                params.n(),
+                params.f()
+            ),
+            lo: 9.0 - 1e-9,
+            hi: 9.0,
+        });
+    }
+    certify_alpha(params.n())
+}
+
 /// Certifies every proportional-regime row of the paper's Table 1:
 /// both the Theorem 1 ratio and the Theorem 2 root.
 ///
@@ -187,6 +228,31 @@ mod tests {
             // Verify the sign argument directly at the certified bounds.
             assert!(h_interval(n, cert.lo).unwrap().is_negative());
             assert!(h_interval(n, cert.hi).unwrap().is_positive());
+        }
+    }
+
+    #[test]
+    fn certified_lower_bound_tracks_the_binding_regime() {
+        // Two-group: exactly 1.
+        let two_group = certify_lower_bound(Params::new(4, 1).unwrap()).unwrap();
+        assert_eq!((two_group.lo, two_group.hi), (1.0, 1.0));
+        // n = f + 1: the single-robot 9, not the dominated alpha(n).
+        for f in [1usize, 2, 4] {
+            let cert = certify_lower_bound(Params::new(f + 1, f).unwrap()).unwrap();
+            assert!(cert.contains(9.0), "f = {f}");
+            assert!(cert.lo > crate::lower_bound::alpha(f + 1).unwrap(), "f = {f}");
+            // `9.0 - 1e-9` rounds, so the width is 1e-9 only up to one
+            // ulp of 9.
+            assert!(cert.width() <= 1e-9 + f64::EPSILON * 9.0, "f = {f}");
+        }
+        // Mid-regime: the alpha(n) enclosure.
+        let mid = certify_lower_bound(Params::new(5, 3).unwrap()).unwrap();
+        assert_eq!(mid, certify_alpha(5).unwrap());
+        // Every regime's certificate contains the float lower bound.
+        for (n, f) in [(4usize, 1usize), (2, 1), (5, 4), (3, 1), (5, 2), (41, 20)] {
+            let params = Params::new(n, f).unwrap();
+            let cert = certify_lower_bound(params).unwrap();
+            assert!(cert.contains(crate::lower_bound::lower_bound(params).unwrap()), "({n}, {f})");
         }
     }
 

@@ -63,6 +63,7 @@ pub mod closed_form;
 pub mod cone;
 pub mod coverage;
 pub mod error;
+pub mod free_schedule;
 pub mod interval;
 pub mod json_float;
 pub mod lower_bound;
@@ -86,6 +87,7 @@ pub use closed_form::ClosedForm;
 pub use cone::Cone;
 pub use coverage::Fleet;
 pub use error::{Error, Result};
+pub use free_schedule::{FreePlan, FreeRobot, FreeSchedule};
 pub use interval::Interval;
 pub use parallel::{par_map, par_map_chunked, par_map_with, ParallelConfig};
 pub use params::{Params, Regime};

@@ -300,6 +300,39 @@ mod tests {
     }
 
     #[test]
+    fn alpha_agrees_with_corollary2_asymptotically() {
+        // Corollary 2 is not just a lower envelope: the gap
+        // alpha(n) - (3 + 2 ln n / n - 2 ln ln n / n) shrinks
+        // monotonically across decades and is negligible by n = 1e6.
+        let mut prev_gap = f64::INFINITY;
+        for n in [100usize, 1_000, 10_000, 100_000, 1_000_000] {
+            let gap = alpha(n).unwrap() - corollary2_lower(n).unwrap();
+            assert!(gap >= 0.0, "corollary must stay below alpha at n = {n}");
+            assert!(gap < prev_gap, "gap must shrink with n, stalled at n = {n}");
+            prev_gap = gap;
+        }
+        assert!(prev_gap < 1e-4, "gap at n = 1e6 is {prev_gap}, expected < 1e-4");
+    }
+
+    #[test]
+    fn single_robot_reduction_pins_the_tight_nine() {
+        // n = f + 1: only one robot's report can be trusted, so the
+        // classical single-searcher bound 9 applies for every f.
+        for f in [0usize, 1, 2, 5, 20, 40] {
+            let params = Params::new(f + 1, f).unwrap();
+            assert_eq!(lower_bound(params).unwrap(), 9.0, "f = {f}");
+        }
+    }
+
+    #[test]
+    fn degenerate_n_is_an_error_not_a_bound() {
+        assert!(alpha(0).is_err());
+        assert!(corollary2_lower(0).is_err());
+        assert!(adversary_points(0, 4.0).is_ok_and(|xs| xs.is_empty()));
+        assert!(Params::new(0, 0).is_err(), "no params exist to ask lower_bound about n = 0");
+    }
+
+    #[test]
     fn lower_bound_by_regime() {
         assert_eq!(lower_bound(Params::new(4, 1).unwrap()).unwrap(), 1.0);
         assert_eq!(lower_bound(Params::new(2, 1).unwrap()).unwrap(), 9.0);

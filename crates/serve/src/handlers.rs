@@ -11,6 +11,7 @@ use faultline_analysis::supremum::SupremumQuery;
 use faultline_analysis::table1;
 use faultline_core::query::canonical_string;
 use faultline_core::CrQuery;
+use faultline_opt::OptimizeConfig;
 use faultline_sim::RunTrace;
 
 use crate::http::Request;
@@ -70,6 +71,7 @@ pub fn prepare(route: Route, request: &Request) -> Result<Prepared, ServeError> 
         Route::Table1 => prepare_table1(request),
         Route::Scenario => prepare_scenario(request),
         Route::Supremum => prepare_supremum(request),
+        Route::Optimize => prepare_optimize(request),
         Route::Healthz | Route::Metrics => {
             Err(ServeError::Internal(format!("{} is not a compute route", route.label())))
         }
@@ -249,6 +251,31 @@ fn prepare_supremum(request: &Request) -> Result<Prepared, ServeError> {
     Ok(Prepared { cache_key, compute })
 }
 
+fn prepare_optimize(request: &Request) -> Result<Prepared, ServeError> {
+    if request.body.trim().is_empty() {
+        return Err(ServeError::BadRequest(
+            "expected a JSON body with at least {\"n\": ..., \"f\": ...}".to_owned(),
+        ));
+    }
+    let mut config: OptimizeConfig = serde_json::from_str(&request.body)
+        .map_err(|e| ServeError::BadRequest(format!("malformed optimize request: {e}")))?;
+    // Validate (n, f) and the window eagerly (400, nothing cached),
+    // and pin the resolved defaults into the config so implicit and
+    // explicit spellings of the same run share a cache entry.
+    config.params().map_err(|e| ServeError::BadRequest(e.to_string()))?;
+    config.xmax = Some(config.resolved_xmax().map_err(|e| ServeError::BadRequest(e.to_string()))?);
+    config.grid_points = Some(config.resolved_grid_points());
+    config.objective().map_err(|e| ServeError::BadRequest(e.to_string()))?;
+    let cache_key = key_for(Route::Optimize, &to_resolved_value(&config)?);
+    let compute: Box<dyn FnOnce() -> Result<Vec<u8>, ServeError> + Send> = Box::new(move || {
+        let report = faultline_opt::run(&config)?;
+        serde_json::to_string_pretty(&report)
+            .map(json_body)
+            .map_err(|e| ServeError::Internal(format!("serialization failed: {e}")))
+    });
+    Ok(Prepared { cache_key, compute })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,6 +397,57 @@ mod tests {
         assert_eq!(a.cache_key, b.cache_key);
         let body = (a.compute)().expect("small scan");
         assert!(String::from_utf8(body).unwrap().contains("\"measured\""));
+    }
+
+    #[test]
+    fn optimize_body_resolves_defaults_into_key() {
+        let implicit = prepare(
+            Route::Optimize,
+            &post("/v1/optimize", r#"{"n": 3, "f": 1, "budget": "tiny", "xmax": 8.0}"#),
+        )
+        .unwrap();
+        assert!(implicit.cache_key.starts_with("/v1/optimize|"));
+        // Spelling out the tiny budget's default grid and seed is the
+        // same resolved request.
+        let explicit = prepare(
+            Route::Optimize,
+            &post(
+                "/v1/optimize",
+                r#"{"f": 1, "n": 3, "budget": "tiny", "xmax": 8.0, "grid_points": 16, "seed": 0}"#,
+            ),
+        )
+        .unwrap();
+        assert_eq!(implicit.cache_key, explicit.cache_key);
+        // A different seed is a different entry.
+        let seeded = prepare(
+            Route::Optimize,
+            &post("/v1/optimize", r#"{"n": 3, "f": 1, "budget": "tiny", "xmax": 8.0, "seed": 7}"#),
+        )
+        .unwrap();
+        assert_ne!(implicit.cache_key, seeded.cache_key);
+        let body = (implicit.compute)().expect("tiny run");
+        let text = String::from_utf8(body).unwrap();
+        assert!(text.contains("\"best_found_cr\""), "got: {text}");
+    }
+
+    #[test]
+    fn optimize_rejects_bad_bodies_before_caching() {
+        for body in [
+            "",
+            "{",
+            r#"{"f": 1}"#,
+            r#"{"n": 2, "f": 3}"#,
+            r#"{"n": 3, "f": 1, "budget": "enormous"}"#,
+            r#"{"n": 3, "f": 1, "xmax": 0.5}"#,
+        ] {
+            assert!(
+                matches!(
+                    prepare(Route::Optimize, &post("/v1/optimize", body)),
+                    Err(ServeError::BadRequest(_))
+                ),
+                "body `{body}` must be a 400"
+            );
+        }
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //!   report), `GET /v1/table1` (regenerated Table 1),
 //!   `POST /v1/scenario` (named presets with explicit seeds, or full
 //!   scenario/trace documents), `POST /v1/supremum` (empirical
-//!   supremum), plus `GET /healthz` and `GET /metrics`.
+//!   supremum), `POST /v1/optimize` (schedule-space optimizer gap
+//!   report), plus `GET /healthz` and `GET /metrics`.
 //! * **Caching** — a sharded LRU memoization cache keyed on the
 //!   canonical form of the fully-resolved request (including the
 //!   seed); hits are byte-identical to the fresh computation.

@@ -15,6 +15,8 @@ pub enum Route {
     Scenario,
     /// `POST /v1/supremum` — empirical supremum measurement.
     Supremum,
+    /// `POST /v1/optimize` — schedule-space optimizer gap report.
+    Optimize,
 }
 
 impl Route {
@@ -28,6 +30,7 @@ impl Route {
             Route::Table1 => "/v1/table1",
             Route::Scenario => "/v1/scenario",
             Route::Supremum => "/v1/supremum",
+            Route::Optimize => "/v1/optimize",
         }
     }
 
@@ -37,7 +40,7 @@ impl Route {
     /// health and metrics stay responsive under saturation.
     #[must_use]
     pub fn is_heavy(self) -> bool {
-        matches!(self, Route::Table1 | Route::Scenario | Route::Supremum)
+        matches!(self, Route::Table1 | Route::Scenario | Route::Supremum | Route::Optimize)
     }
 }
 
@@ -63,6 +66,7 @@ pub fn route(method: &str, path: &str) -> Routed {
         "/v1/table1" => ("GET", Route::Table1),
         "/v1/scenario" => ("POST", Route::Scenario),
         "/v1/supremum" => ("POST", Route::Supremum),
+        "/v1/optimize" => ("POST", Route::Optimize),
         _ => return Routed::NotFound,
     };
     if method == expected {
@@ -82,6 +86,7 @@ mod tests {
         assert_eq!(route("GET", "/v1/cr"), Routed::Matched(Route::Cr));
         assert_eq!(route("POST", "/v1/scenario"), Routed::Matched(Route::Scenario));
         assert_eq!(route("POST", "/v1/supremum"), Routed::Matched(Route::Supremum));
+        assert_eq!(route("POST", "/v1/optimize"), Routed::Matched(Route::Optimize));
         assert_eq!(route("GET", "/v1/table1"), Routed::Matched(Route::Table1));
     }
 
@@ -89,6 +94,7 @@ mod tests {
     fn wrong_method_advertises_the_right_one() {
         assert_eq!(route("POST", "/v1/cr"), Routed::MethodNotAllowed("GET"));
         assert_eq!(route("GET", "/v1/supremum"), Routed::MethodNotAllowed("POST"));
+        assert_eq!(route("GET", "/v1/optimize"), Routed::MethodNotAllowed("POST"));
         assert_eq!(route("DELETE", "/nope"), Routed::NotFound);
     }
 
@@ -100,5 +106,6 @@ mod tests {
         assert!(Route::Table1.is_heavy());
         assert!(Route::Scenario.is_heavy());
         assert!(Route::Supremum.is_heavy());
+        assert!(Route::Optimize.is_heavy());
     }
 }

@@ -89,6 +89,37 @@ fn cache_hits_are_byte_identical_and_metrics_move() {
 }
 
 #[test]
+fn optimize_route_caches_resolved_configs() {
+    let (handle, addr) = spawn(ServeConfig::default());
+
+    let body = r#"{"n": 3, "f": 1, "budget": "tiny", "xmax": 8.0, "grid_points": 12}"#;
+    let fresh = post(&addr, "/v1/optimize", body);
+    assert_eq!(fresh.status, 200, "optimize failed: {}", fresh.text());
+    assert_eq!(fresh.header("X-Cache"), Some("miss"));
+    assert!(fresh.text().contains("\"best_found_cr\""));
+    assert!(fresh.text().contains("\"crosscheck\""));
+
+    // A reordered spelling of the same resolved run is a byte-identical
+    // cache hit.
+    let reordered = r#"{"xmax": 8.0, "f": 1, "grid_points": 12, "budget": "tiny", "n": 3}"#;
+    let cached = post(&addr, "/v1/optimize", reordered);
+    assert_eq!(cached.status, 200);
+    assert_eq!(cached.header("X-Cache"), Some("hit"));
+    assert_eq!(cached.body, fresh.body);
+
+    // Wrong method and invalid pairs mirror the other POST routes.
+    assert_eq!(get(&addr, "/v1/optimize").status, 405);
+    assert_eq!(post(&addr, "/v1/optimize", r#"{"n": 2, "f": 3}"#).status, 400);
+
+    let metrics = get(&addr, "/metrics").text();
+    assert!(
+        metrics.contains("faultline_requests_total{route=\"/v1/optimize\",status=\"200\"} 2"),
+        "optimize requests counted per route: {metrics}"
+    );
+    handle.shutdown();
+}
+
+#[test]
 fn saturated_queue_answers_503_while_light_routes_stay_up() {
     let config = ServeConfig {
         threads: Some(1),

@@ -8,6 +8,7 @@
 //! * [`sim`](faultline_sim) — the discrete-event simulator.
 //! * [`strategies`](faultline_strategies) — strategy library.
 //! * [`analysis`](faultline_analysis) — table/figure regeneration.
+//! * [`opt`](faultline_opt) — the Theorem 1 / Theorem 2 gap optimizer.
 //!
 //! ```
 //! use faultline_suite::prelude::*;
@@ -27,6 +28,7 @@ pub use faultline_analysis as analysis;
 /// for compatibility).
 pub use faultline_analysis::scenario;
 pub use faultline_core as core;
+pub use faultline_opt as opt;
 pub use faultline_sim as sim;
 pub use faultline_strategies as strategies;
 
