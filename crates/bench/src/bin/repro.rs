@@ -7,7 +7,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro [table1|fig5|figures|ablation|lower-bound|montecarlo|explore|optimize|all] [--fast] [--seed=N]
+//! repro [table1|fig5|figures|ablation|lower-bound|montecarlo|explore|optimize|conformance|all] [--fast] [--seed=N]
 //! repro replay <trace.json>
 //! repro bench [--quick] [--out=PATH] [--force]
 //! ```
@@ -77,6 +77,7 @@ mod rand_free {
             "certify" => run_certify()?,
             "explore" => run_explore(out_dir, fast, seed.unwrap_or(0))?,
             "optimize" => run_optimize(out_dir, fast, seed.unwrap_or(0))?,
+            "conformance" => run_conformance(out_dir, fast, seed.unwrap_or(1))?,
             "replay" => {
                 let path = operand.ok_or("replay needs a trace file: repro replay <trace.json>")?;
                 run_replay(path)?;
@@ -94,12 +95,13 @@ mod rand_free {
                 run_certify()?;
                 run_explore(out_dir, fast, seed.unwrap_or(0))?;
                 run_optimize(out_dir, fast, seed.unwrap_or(0))?;
+                run_conformance(out_dir, fast, seed.unwrap_or(1))?;
             }
             other => {
                 eprintln!(
                     "unknown command `{other}`; expected table1 | fig5 | figures | ablation | \
                      lower-bound | montecarlo | extensions | verify | certify | explore | \
-                     optimize | replay <trace.json> | bench | all"
+                     optimize | conformance | replay <trace.json> | bench | all"
                 );
                 std::process::exit(2);
             }
@@ -581,6 +583,40 @@ fn run_optimize(out_dir: &Path, fast: bool, seed: u64) -> Result<(), Box<dyn std
     );
     fs::write(out_dir.join("opt_gap.csv"), gap_csv(&rows))?;
     println!("(written to {}/opt_gap.csv)\n", out_dir.display());
+    Ok(())
+}
+
+fn run_conformance(
+    out_dir: &Path,
+    fast: bool,
+    seed: u64,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use faultline_conformance::{ConformanceConfig, Tier};
+
+    println!("== Conformance matrix: sim / analytic / closed-form / optimizer oracles ==");
+    let config = ConformanceConfig {
+        seed,
+        cases: if fast { 48 } else { 200 },
+        budget: if fast { Tier::Smoke } else { Tier::Default },
+        ..ConformanceConfig::default()
+    };
+    println!("(seed {}, {} cases, {} budget)", config.seed, config.cases, config.budget);
+    let report = faultline_conformance::run(&config)?;
+    print!("{}", report.render());
+    fs::write(out_dir.join("conformance.csv"), report.to_csv())?;
+    println!("(written to {}/conformance.csv)\n", out_dir.display());
+    if !report.passed() {
+        for (i, doc) in report.failures.iter().enumerate() {
+            let path = out_dir.join(format!("counterexample_{}_{i}.json", doc.oracle));
+            fs::write(&path, doc.to_json()?)?;
+            println!("shrunk replayable counterexample written to {}", path.display());
+        }
+        return Err(format!(
+            "{} oracle violations (replay with `faultline conformance replay <file>`)",
+            report.failures.len()
+        )
+        .into());
+    }
     Ok(())
 }
 

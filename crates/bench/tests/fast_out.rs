@@ -1,0 +1,57 @@
+//! Regression test for the `--fast` / tracked-`out/` interaction: fast
+//! runs write reduced-resolution artifacts to `out/fast/` and must
+//! never touch the tracked full-resolution CSVs under `out/`. CI has a
+//! `git diff --exit-code -- out/` drift gate; this pins the same
+//! invariant locally so it fails in `cargo test` before it fails in CI.
+
+use std::path::Path;
+use std::process::Command;
+
+/// `git status --porcelain -- out/` in the repository root, or `None`
+/// when git is unavailable or this is not a checkout (release
+/// tarballs), in which case the test degrades to the artifact check.
+fn out_status(repo_root: &Path) -> Option<String> {
+    let output = Command::new("git")
+        .args(["status", "--porcelain", "--", "out/"])
+        .current_dir(repo_root)
+        .output()
+        .ok()?;
+    if !output.status.success() {
+        return None;
+    }
+    Some(String::from_utf8_lossy(&output.stdout).into_owned())
+}
+
+#[test]
+fn fast_run_leaves_tracked_out_artifacts_untouched() {
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let before = out_status(&repo_root);
+
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["table1", "--fast"])
+        .current_dir(&repo_root)
+        .output()
+        .expect("failed to spawn the repro binary");
+    assert!(
+        output.status.success(),
+        "repro table1 --fast failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    // The fast artifact lands under out/fast/, never over the tracked
+    // full-resolution CSV.
+    let fast_csv = repo_root.join("out/fast/table1.csv");
+    assert!(fast_csv.is_file(), "fast artifacts belong in out/fast/");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("out/fast/table1.csv"), "stdout names the fast path: {stdout}");
+
+    match (before, out_status(&repo_root)) {
+        (Some(before), Some(after)) => {
+            assert_eq!(
+                before, after,
+                "a fast run must leave `git status -- out/` exactly as it found it"
+            );
+        }
+        _ => eprintln!("git unavailable or not a checkout; artifact-location check only"),
+    }
+}

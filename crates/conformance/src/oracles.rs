@@ -1,0 +1,729 @@
+//! The declarative oracle set: named cross-path agreement checks,
+//! metamorphic relations, and self-consistency properties.
+//!
+//! Every oracle is a pure function of an [`Instance`] (plus the
+//! test-only injection flag), so the engine can fan instances out over
+//! the work-stealing pool and still produce byte-identical reports for
+//! any thread count. An oracle answers [`Verdict::Skip`] when the
+//! instance is outside its domain (e.g. the closed form does not exist
+//! in the two-group regime), never an error.
+//!
+//! | oracle | relation | tolerance |
+//! |---|---|---|
+//! | `sim-analytic-detection` | simulator detection time = coverage `T_(f+1)(x)` | [`REL_TOL`] |
+//! | `sim-analytic-supremum` | both measurement paths agree per strategy | [`REL_TOL`] |
+//! | `closed-form-visit` | Lemma 2 closed form = coverage `T_(f+1)(x)` | [`REL_TOL`] |
+//! | `thm1-closed-form-measured` | measured CR within grid tolerance of Theorem 1 | [`GRID_RTOL`] below, [`ABS_SLACK`] above |
+//! | `cr-monotone-in-f` | `CR(n, f) <= CR(n, f + 1)` | [`EXACT_TOL`] |
+//! | `scale-invariance` | `K(E * x) = K(x)` for the proportional ladder | [`REL_TOL`] |
+//! | `two-group-unit-cr` | `n >= 2f + 2` has CR exactly 1 | [`REL_TOL`] |
+//! | `single-robot-nine` | `n = f + 1` collapses to doubling's CR 9 | [`GRID_RTOL`] |
+//! | `measured-above-certified-floor` | measured CR >= certified lower bound | [`FLOOR_RTOL`] |
+//! | `objective-eval-consistency` | optimizer score sits in `(measured, measured + PRESSURE_WEIGHT]` or is `PENALTY` | exact |
+//! | `adversary-dominance` | any in-budget mask detects by `T_(f+1)(x)` | [`REL_TOL`] |
+//! | `replay-determinism` | recorded runs replay bit-for-bit, twice | exact |
+
+use faultline_analysis::{measure_strategy_cr, measure_strategy_cr_sim};
+use faultline_core::closed_form::ClosedForm;
+use faultline_core::coverage::Fleet;
+use faultline_core::trajectory::PiecewiseTrajectory;
+use faultline_core::{certificate, ratio, Algorithm, Params, Result};
+use faultline_opt::{Objective, PENALTY, PRESSURE_WEIGHT};
+use faultline_sim::engine::SimConfig;
+use faultline_sim::{worst_case_outcome, FaultKind, FaultPlan, RunTrace, Target};
+use faultline_strategies::{strategy_by_name, PaperStrategy};
+
+use crate::instance::Instance;
+
+/// Relative tolerance for cross-path agreement: two independent
+/// evaluations of the same exact quantity may differ only by
+/// accumulated rounding.
+pub const REL_TOL: f64 = 1e-9;
+
+/// Finite-window tolerance: a measured supremum samples the ratio at
+/// turning-point right-hand limits offset by `TURNING_POINT_EPS`, so
+/// it may sit below the closed-form supremum by this relative margin
+/// (and no more) at any grid the generator draws.
+pub const GRID_RTOL: f64 = 1e-3;
+
+/// Absolute slack allowed *above* an analytic value by a measurement
+/// (probe offsets can overshoot the supremum by rounding, never by
+/// more than this).
+pub const ABS_SLACK: f64 = 1e-6;
+
+/// Tolerance for relations that hold exactly in real arithmetic
+/// between closed-form evaluations.
+pub const EXACT_TOL: f64 = 1e-12;
+
+/// Relative slack when comparing a finite-window measurement against a
+/// certified (outward-rounded) lower-bound enclosure.
+pub const FLOOR_RTOL: f64 = 1e-6;
+
+/// Size of the test-only injected perturbation: large enough to trip
+/// every oracle tolerance above, small enough that the perturbed run
+/// still executes normally.
+pub const INJECTED_SKEW: f64 = 0.01;
+
+/// A failed check: the two sides of the violated relation, a human
+/// explanation, and (for sim-involving oracles) a replayable trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mismatch {
+    /// The reference side of the relation.
+    pub expected: f64,
+    /// The side that violated it.
+    pub observed: f64,
+    /// Which sub-check failed, with the concrete inputs.
+    pub detail: String,
+    /// A replayable simulator trace backing the failure, when the
+    /// oracle runs the discrete-event engine.
+    pub trace: Option<RunTrace>,
+}
+
+/// The outcome of one oracle on one instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// The relation holds within tolerance.
+    Pass,
+    /// The instance is outside the oracle's domain (with the reason).
+    Skip(String),
+    /// The relation is violated.
+    Fail(Box<Mismatch>),
+}
+
+impl Verdict {
+    /// Whether this verdict is a failure.
+    #[must_use]
+    pub fn is_fail(&self) -> bool {
+        matches!(self, Verdict::Fail(_))
+    }
+}
+
+/// A named conformance oracle.
+pub struct Oracle {
+    /// Stable name (report rows, counterexample documents, CLI).
+    pub name: &'static str,
+    /// One-line statement of the relation.
+    pub description: &'static str,
+    /// The dominant tolerance the oracle asserts with.
+    pub tolerance: f64,
+    check: fn(&Instance, bool) -> Result<Verdict>,
+}
+
+impl Oracle {
+    /// Runs the oracle. Internal errors (a path that refuses an input
+    /// another path accepted) are themselves conformance failures, so
+    /// they surface as [`Verdict::Fail`], never as `Err`.
+    #[must_use]
+    pub fn check(&self, instance: &Instance, inject: bool) -> Verdict {
+        match (self.check)(instance, inject) {
+            Ok(verdict) => verdict,
+            Err(e) => fail(f64::NAN, f64::NAN, format!("oracle errored: {e}"), None),
+        }
+    }
+}
+
+impl std::fmt::Debug for Oracle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Oracle")
+            .field("name", &self.name)
+            .field("tolerance", &self.tolerance)
+            .finish()
+    }
+}
+
+/// The full oracle set, in report order.
+#[must_use]
+pub fn all_oracles() -> &'static [Oracle] {
+    &ORACLES
+}
+
+/// Looks up an oracle by its stable name.
+#[must_use]
+pub fn oracle_by_name(name: &str) -> Option<&'static Oracle> {
+    ORACLES.iter().find(|o| o.name == name)
+}
+
+static ORACLES: [Oracle; 12] = [
+    Oracle {
+        name: "sim-analytic-detection",
+        description: "worst-case simulator detection time equals coverage T_(f+1)(x)",
+        tolerance: REL_TOL,
+        check: sim_analytic_detection,
+    },
+    Oracle {
+        name: "sim-analytic-supremum",
+        description: "coverage and simulator measurement paths agree for the instance strategy",
+        tolerance: REL_TOL,
+        check: sim_analytic_supremum,
+    },
+    Oracle {
+        name: "closed-form-visit",
+        description: "Lemma 2 closed-form visit times equal coverage queries",
+        tolerance: REL_TOL,
+        check: closed_form_visit,
+    },
+    Oracle {
+        name: "thm1-closed-form-measured",
+        description: "measured CR of A(n, f) sits within grid tolerance of Theorem 1",
+        tolerance: GRID_RTOL,
+        check: thm1_closed_form_measured,
+    },
+    Oracle {
+        name: "cr-monotone-in-f",
+        description: "Theorem 1 CR is non-decreasing in f at fixed n",
+        tolerance: EXACT_TOL,
+        check: cr_monotone_in_f,
+    },
+    Oracle {
+        name: "scale-invariance",
+        description: "K(x) is invariant under the ladder period E = r^n",
+        tolerance: REL_TOL,
+        check: scale_invariance,
+    },
+    Oracle {
+        name: "two-group-unit-cr",
+        description: "n >= 2f + 2 yields competitive ratio exactly 1",
+        tolerance: REL_TOL,
+        check: two_group_unit_cr,
+    },
+    Oracle {
+        name: "single-robot-nine",
+        description: "n = f + 1 collapses to the single-robot doubling bound 9",
+        tolerance: GRID_RTOL,
+        check: single_robot_nine,
+    },
+    Oracle {
+        name: "measured-above-certified-floor",
+        description: "measured CR never dips below the certified lower-bound enclosure",
+        tolerance: FLOOR_RTOL,
+        check: measured_above_certified_floor,
+    },
+    Oracle {
+        name: "objective-eval-consistency",
+        description:
+            "optimizer score is measured + pressure tie-break, or PENALTY when unscoreable",
+        tolerance: 0.0,
+        check: objective_eval_consistency,
+    },
+    Oracle {
+        name: "adversary-dominance",
+        description: "every in-budget fault mask detects no later than T_(f+1)(x)",
+        tolerance: REL_TOL,
+        check: adversary_dominance,
+    },
+    Oracle {
+        name: "replay-determinism",
+        description: "recorded simulator runs replay bit-for-bit and re-record identically",
+        tolerance: 0.0,
+        check: replay_determinism,
+    },
+];
+
+fn fail(expected: f64, observed: f64, detail: String, trace: Option<RunTrace>) -> Verdict {
+    Verdict::Fail(Box::new(Mismatch { expected, observed, detail, trace }))
+}
+
+/// Relative gap with a unit floor so near-zero references do not blow
+/// up the comparison.
+fn rel_gap(a: f64, b: f64) -> f64 {
+    (a - b).abs() / b.abs().max(1.0)
+}
+
+/// Test-only perturbation pushing `observed` *up* past an upper bound.
+fn skew_up(inject: bool, observed: f64) -> f64 {
+    if inject {
+        observed * (1.0 + INJECTED_SKEW) + INJECTED_SKEW
+    } else {
+        observed
+    }
+}
+
+/// Test-only perturbation pushing `observed` *down* past a lower bound.
+fn skew_down(inject: bool, observed: f64) -> f64 {
+    if inject {
+        observed * (1.0 - INJECTED_SKEW) - INJECTED_SKEW
+    } else {
+        observed
+    }
+}
+
+/// Designs `A(n, f)` and materializes its fleet far enough to confirm
+/// targets up to `max_mag`.
+fn fleet_for(params: Params, max_mag: f64) -> Result<(Vec<PiecewiseTrajectory>, Fleet)> {
+    let alg = Algorithm::design(params)?;
+    let horizon = alg.required_horizon(max_mag * 1.5 + 2.0)?;
+    let trajectories: Vec<PiecewiseTrajectory> =
+        alg.plans().iter().map(|p| p.materialize(horizon)).collect::<Result<Vec<_>>>()?;
+    let fleet = Fleet::new(trajectories.clone())?;
+    Ok((trajectories, fleet))
+}
+
+/// Caps a strategy-supremum scan so debug-mode smoke tiers stay fast;
+/// the bound is a scan resolution, not a correctness parameter.
+const SUPREMUM_GRID_CAP: usize = 48;
+
+/// Floor applied to Theorem 1 comparisons so the window always
+/// contains several full turning-point periods.
+const MEASURE_XMAX_FLOOR: f64 = 24.0;
+const MEASURE_GRID_FLOOR: usize = 64;
+
+fn sim_analytic_detection(inst: &Instance, inject: bool) -> Result<Verdict> {
+    let params = inst.params()?;
+    let (trajectories, fleet) = fleet_for(params, inst.max_target())?;
+    for &x in &inst.targets {
+        let outcome = worst_case_outcome(
+            trajectories.clone(),
+            Target::new(x)?,
+            params.f(),
+            SimConfig::default(),
+        )?;
+        let Some(detection) = outcome.detection else {
+            return Ok(fail(
+                0.0,
+                f64::INFINITY,
+                format!("target {x}: worst-case simulation never detected"),
+                None,
+            ));
+        };
+        let Some(analytic) = fleet.visit_time(x, params.required_visits()) else {
+            return Ok(fail(
+                0.0,
+                f64::INFINITY,
+                format!("target {x}: coverage failed to confirm within the horizon"),
+                None,
+            ));
+        };
+        let observed = skew_up(inject, detection.time);
+        if rel_gap(observed, analytic) > REL_TOL {
+            return Ok(fail(
+                analytic,
+                observed,
+                format!("target {x}: sim detection diverges from analytic T_(f+1)"),
+                None,
+            ));
+        }
+    }
+    Ok(Verdict::Pass)
+}
+
+fn sim_analytic_supremum(inst: &Instance, inject: bool) -> Result<Verdict> {
+    let params = inst.params()?;
+    let Some(strategy) = strategy_by_name(&inst.strategy) else {
+        return Ok(Verdict::Skip(format!("unknown strategy `{}`", inst.strategy)));
+    };
+    if let Err(e) = strategy.plans(params) {
+        return Ok(Verdict::Skip(format!("{} rejects {params}: {e}", inst.strategy)));
+    }
+    let grid = inst.grid_points.min(SUPREMUM_GRID_CAP);
+    let a = measure_strategy_cr(strategy.as_ref(), params, inst.xmax, grid)?;
+    let b = measure_strategy_cr_sim(strategy.as_ref(), params, inst.xmax, grid)?;
+    if a.uncovered != b.uncovered {
+        return Ok(fail(
+            a.uncovered as f64,
+            b.uncovered as f64,
+            format!("{}: uncovered-target counts disagree", inst.strategy),
+            None,
+        ));
+    }
+    if a.empirical.is_finite() {
+        let observed = skew_up(inject, b.empirical);
+        if rel_gap(observed, a.empirical) > REL_TOL {
+            return Ok(fail(
+                a.empirical,
+                observed,
+                format!("{}: coverage vs simulator supremum", inst.strategy),
+                None,
+            ));
+        }
+    } else if b.empirical.is_finite() {
+        return Ok(fail(
+            f64::INFINITY,
+            b.empirical,
+            format!("{}: coverage is unbounded but the simulator measured finite", inst.strategy),
+            None,
+        ));
+    }
+    Ok(Verdict::Pass)
+}
+
+fn closed_form_visit(inst: &Instance, inject: bool) -> Result<Verdict> {
+    let params = inst.params()?;
+    let alg = Algorithm::design(params)?;
+    let Some(schedule) = alg.schedule() else {
+        return Ok(Verdict::Skip("no proportional schedule in the two-group regime".to_owned()));
+    };
+    let closed_form = ClosedForm::new(schedule);
+    let (_, fleet) = fleet_for(params, inst.max_target())?;
+    for &x in &inst.targets {
+        let closed = closed_form.visit_time(x, params.f())?;
+        let Some(coverage) = fleet.visit_time(x, params.required_visits()) else {
+            return Ok(fail(
+                closed,
+                f64::INFINITY,
+                format!("target {x}: coverage failed to confirm within the horizon"),
+                None,
+            ));
+        };
+        let observed = skew_up(inject, coverage);
+        if rel_gap(observed, closed) > REL_TOL {
+            return Ok(fail(
+                closed,
+                observed,
+                format!("target {x}: closed-form vs coverage T_(f+1)"),
+                None,
+            ));
+        }
+    }
+    Ok(Verdict::Pass)
+}
+
+fn thm1_closed_form_measured(inst: &Instance, inject: bool) -> Result<Verdict> {
+    let params = inst.params()?;
+    let thm1 = ratio::cr_upper(params);
+    let measured = measure_strategy_cr(
+        &PaperStrategy::new(),
+        params,
+        inst.xmax.max(MEASURE_XMAX_FLOOR),
+        inst.grid_points.max(MEASURE_GRID_FLOOR),
+    )?;
+    if measured.uncovered != 0 {
+        return Ok(fail(
+            0.0,
+            measured.uncovered as f64,
+            "A(n, f) left scan targets uncovered".to_owned(),
+            None,
+        ));
+    }
+    let observed = skew_up(inject, measured.empirical);
+    if observed > thm1 + ABS_SLACK {
+        return Ok(fail(thm1, observed, "measured CR exceeds Theorem 1".to_owned(), None));
+    }
+    if observed < thm1 * (1.0 - GRID_RTOL) {
+        return Ok(fail(
+            thm1,
+            observed,
+            "measured CR fell below Theorem 1 by more than the grid tolerance".to_owned(),
+            None,
+        ));
+    }
+    Ok(Verdict::Pass)
+}
+
+fn cr_monotone_in_f(inst: &Instance, inject: bool) -> Result<Verdict> {
+    if inst.f + 1 >= inst.n {
+        return Ok(Verdict::Skip("f + 1 faults are not tolerable with n robots".to_owned()));
+    }
+    let here = ratio::cr_upper(inst.params()?);
+    let worse = ratio::cr_upper(Params::new(inst.n, inst.f + 1)?);
+    let observed = if inject { skew_up(true, worse) } else { here };
+    if observed > worse + EXACT_TOL {
+        return Ok(fail(
+            worse,
+            observed,
+            format!("CR({}, {}) exceeds CR({}, {})", inst.n, inst.f, inst.n, inst.f + 1),
+            None,
+        ));
+    }
+    Ok(Verdict::Pass)
+}
+
+fn scale_invariance(inst: &Instance, inject: bool) -> Result<Verdict> {
+    let params = inst.params()?;
+    let alg = Algorithm::design(params)?;
+    let Some(schedule) = alg.schedule() else {
+        return Ok(Verdict::Skip("no proportional ladder in the two-group regime".to_owned()));
+    };
+    let closed_form = ClosedForm::new(schedule);
+    // One full ladder period: each robot's same-side turning points
+    // expand by kappa^2 = r^n, and the whole fleet is self-similar
+    // under that scaling (kappa alone shifts robots by half a cycle
+    // and swaps sides, which is not an invariance of K).
+    let period = schedule.expansion_factor().powi(2);
+    for &x in &inst.targets {
+        let here = closed_form.ratio_at(x, params.f())?;
+        let scaled = closed_form.ratio_at(x * period, params.f())?;
+        let observed = skew_up(inject, scaled);
+        if rel_gap(observed, here) > REL_TOL {
+            return Ok(fail(
+                here,
+                observed,
+                format!("K({x}) vs K({}) across one ladder period E = {period}", x * period),
+                None,
+            ));
+        }
+    }
+    Ok(Verdict::Pass)
+}
+
+fn two_group_unit_cr(inst: &Instance, inject: bool) -> Result<Verdict> {
+    let params = inst.params()?;
+    if params.regime() != faultline_core::Regime::TwoGroup {
+        return Ok(Verdict::Skip("n < 2f + 2 is the proportional regime".to_owned()));
+    }
+    let thm1 = skew_up(inject, ratio::cr_upper(params));
+    if thm1 != 1.0 {
+        return Ok(fail(1.0, thm1, "two-group Theorem 1 value is not exactly 1".to_owned(), None));
+    }
+    let measured = measure_strategy_cr(&PaperStrategy::new(), params, inst.xmax.min(16.0), 24)?;
+    let observed = skew_up(inject, measured.empirical);
+    if measured.uncovered != 0 || (observed - 1.0).abs() > REL_TOL {
+        return Ok(fail(
+            1.0,
+            observed,
+            format!("two-group measured CR ({} uncovered)", measured.uncovered),
+            None,
+        ));
+    }
+    Ok(Verdict::Pass)
+}
+
+fn single_robot_nine(inst: &Instance, inject: bool) -> Result<Verdict> {
+    if inst.n != inst.f + 1 {
+        return Ok(Verdict::Skip("only n = f + 1 reduces to a single reliable robot".to_owned()));
+    }
+    let params = inst.params()?;
+    let thm1 = skew_up(inject, ratio::cr_upper(params));
+    if thm1 != 9.0 {
+        return Ok(fail(
+            9.0,
+            thm1,
+            "n = f + 1 Theorem 1 value is not the doubling bound 9".to_owned(),
+            None,
+        ));
+    }
+    let measured = measure_strategy_cr(
+        &PaperStrategy::new(),
+        params,
+        inst.xmax.max(MEASURE_XMAX_FLOOR),
+        inst.grid_points.max(MEASURE_GRID_FLOOR),
+    )?;
+    let observed = skew_up(inject, measured.empirical);
+    let band = 9.0 * (1.0 - GRID_RTOL)..=9.0 + ABS_SLACK;
+    if measured.uncovered != 0 || !band.contains(&observed) {
+        return Ok(fail(
+            9.0,
+            observed,
+            format!("measured doubling CR ({} uncovered)", measured.uncovered),
+            None,
+        ));
+    }
+    Ok(Verdict::Pass)
+}
+
+fn measured_above_certified_floor(inst: &Instance, inject: bool) -> Result<Verdict> {
+    let params = inst.params()?;
+    let cert = certificate::certify_lower_bound(params)?;
+    let measured = measure_strategy_cr(
+        &PaperStrategy::new(),
+        params,
+        inst.xmax.max(MEASURE_XMAX_FLOOR),
+        inst.grid_points.max(MEASURE_GRID_FLOOR),
+    )?;
+    if measured.uncovered != 0 {
+        return Ok(fail(
+            0.0,
+            measured.uncovered as f64,
+            "A(n, f) left scan targets uncovered".to_owned(),
+            None,
+        ));
+    }
+    let observed = skew_down(inject, measured.empirical);
+    if observed < cert.lo * (1.0 - FLOOR_RTOL) {
+        return Ok(fail(
+            cert.lo,
+            observed,
+            "measured CR fell below the certified lower bound".to_owned(),
+            None,
+        ));
+    }
+    Ok(Verdict::Pass)
+}
+
+fn objective_eval_consistency(inst: &Instance, inject: bool) -> Result<Verdict> {
+    let Some(schedule) = &inst.schedule else {
+        return Ok(Verdict::Skip("instance carries no free schedule".to_owned()));
+    };
+    let params = inst.params()?;
+    let objective = Objective::new(params, inst.xmax, inst.grid_points)?;
+    let score = skew_up(inject, objective.eval(schedule));
+    // Re-derive scoreability exactly as `eval` does, from `profile`.
+    let scoreable = objective.profile(schedule).ok().and_then(|p| {
+        let m = p.measured;
+        (m.uncovered == 0 && m.empirical.is_finite() && m.empirical >= objective.floor())
+            .then_some(m.empirical)
+    });
+    match scoreable {
+        Some(measured) => {
+            if score <= measured || score > measured + PRESSURE_WEIGHT + EXACT_TOL {
+                return Ok(fail(
+                    measured,
+                    score,
+                    "score is not measured CR plus a pressure tie-break in (0, PRESSURE_WEIGHT]"
+                        .to_owned(),
+                    None,
+                ));
+            }
+        }
+        None => {
+            if score.to_bits() != PENALTY.to_bits() {
+                return Ok(fail(
+                    PENALTY,
+                    score,
+                    "unscoreable schedule must score exactly PENALTY".to_owned(),
+                    None,
+                ));
+            }
+        }
+    }
+    Ok(Verdict::Pass)
+}
+
+fn adversary_dominance(inst: &Instance, inject: bool) -> Result<Verdict> {
+    let params = inst.params()?;
+    let (trajectories, fleet) = fleet_for(params, inst.max_target())?;
+    let kinds: Vec<FaultKind> = (0..params.n())
+        .map(|i| if inst.mask.contains(&i) { FaultKind::Sensor } else { FaultKind::Reliable })
+        .collect();
+    let plan = FaultPlan::new(kinds)?;
+    for &x in &inst.targets {
+        let Some(bound) = fleet.visit_time(x, params.required_visits()) else {
+            return Ok(fail(
+                0.0,
+                f64::INFINITY,
+                format!("target {x}: coverage failed to confirm within the horizon"),
+                None,
+            ));
+        };
+        let trace = RunTrace::record(
+            format!("conformance adversary-dominance, case {}", inst.index),
+            trajectories.clone(),
+            Target::new(x)?,
+            &plan,
+            inst.seed,
+            SimConfig::default(),
+            Some(bound),
+        )?;
+        let Some(detection) = &trace.outcome.detection else {
+            return Ok(fail(
+                bound,
+                f64::INFINITY,
+                format!("target {x}, mask {:?}: never detected", inst.mask),
+                Some(trace),
+            ));
+        };
+        let observed = skew_up(inject, detection.time);
+        if observed > bound * (1.0 + REL_TOL) {
+            return Ok(fail(
+                bound,
+                observed,
+                format!("target {x}, mask {:?}: detection after T_(f+1)", inst.mask),
+                Some(trace),
+            ));
+        }
+    }
+    Ok(Verdict::Pass)
+}
+
+fn replay_determinism(inst: &Instance, inject: bool) -> Result<Verdict> {
+    let params = inst.params()?;
+    let (trajectories, _) = fleet_for(params, inst.max_target())?;
+    let kinds: Vec<FaultKind> = (0..params.n())
+        .map(|i| if inst.mask.contains(&i) { FaultKind::Sensor } else { FaultKind::Reliable })
+        .collect();
+    let plan = FaultPlan::new(kinds)?;
+    let Some(&x) = inst.targets.first() else {
+        return Ok(Verdict::Skip("instance has no targets".to_owned()));
+    };
+    let target = Target::new(x)?;
+    let reason = format!("conformance replay-determinism, case {}", inst.index);
+    let first = RunTrace::record(
+        reason.clone(),
+        trajectories.clone(),
+        target,
+        &plan,
+        inst.seed,
+        SimConfig::default(),
+        None,
+    )?;
+    if let Err(e) = first.verify() {
+        let detail = format!("trace failed bit-for-bit verification: {e}");
+        return Ok(fail(f64::NAN, f64::NAN, detail, Some(first)));
+    }
+    let second = RunTrace::record(
+        reason,
+        trajectories,
+        target,
+        &plan,
+        inst.seed,
+        SimConfig::default(),
+        None,
+    )?;
+    let recorded = first.outcome.detection.as_ref().map_or(f64::INFINITY, |d| d.time);
+    let rerecorded = second.outcome.detection.as_ref().map_or(f64::INFINITY, |d| d.time);
+    let observed = skew_up(inject, rerecorded);
+    if second != first || observed.to_bits() != recorded.to_bits() {
+        return Ok(fail(
+            recorded,
+            observed,
+            "re-recording the identical run diverged".to_owned(),
+            Some(first),
+        ));
+    }
+    Ok(Verdict::Pass)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::GenCaps;
+
+    const CAPS: GenCaps = GenCaps { grid_lo: 16, grid_hi: 24, targets: 2, explicit_turns: 4 };
+
+    #[test]
+    fn names_are_unique_and_documented() {
+        let mut names: Vec<&str> = all_oracles().iter().map(|o| o.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all_oracles().len());
+        for oracle in all_oracles() {
+            assert!(!oracle.description.is_empty(), "{}", oracle.name);
+            assert!(oracle_by_name(oracle.name).is_some());
+        }
+        assert!(oracle_by_name("no-such-oracle").is_none());
+    }
+
+    #[test]
+    fn every_oracle_passes_or_skips_a_small_seeded_sweep() {
+        for index in 0..6u64 {
+            let instance = Instance::generate(3, index, &CAPS);
+            for oracle in all_oracles() {
+                let verdict = oracle.check(&instance, false);
+                assert!(!verdict.is_fail(), "{} failed on case {index}: {verdict:?}", oracle.name);
+            }
+        }
+    }
+
+    #[test]
+    fn injection_trips_every_oracle_somewhere() {
+        // Each oracle must fail under injection for at least one of a
+        // handful of generated instances (those it does not skip).
+        for oracle in all_oracles() {
+            let mut tripped = false;
+            let mut applicable = false;
+            for index in 0..9u64 {
+                let instance = Instance::generate(5, index, &CAPS);
+                match oracle.check(&instance, true) {
+                    Verdict::Fail(_) => {
+                        tripped = true;
+                        applicable = true;
+                        break;
+                    }
+                    Verdict::Pass => applicable = true,
+                    Verdict::Skip(_) => {}
+                }
+            }
+            assert!(applicable, "{} skipped every probe instance", oracle.name);
+            assert!(tripped, "{} never failed under injection", oracle.name);
+        }
+    }
+}

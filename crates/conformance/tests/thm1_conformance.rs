@@ -1,0 +1,72 @@
+//! Satellite property tests: `core::closed_form` Theorem 1 values
+//! agree with `analysis` measured competitive ratios on every Table-1
+//! pair, within the documented grid tolerance.
+//!
+//! The tolerance regime is the one the `thm1-closed-form-measured`
+//! oracle states: a finite-window measurement may sit *below* the
+//! closed form by at most [`GRID_RTOL`] relatively (turning-point
+//! probes are offset by `TURNING_POINT_EPS`), and *above* it by at
+//! most [`ABS_SLACK`] absolutely (rounding only). These tests drive
+//! the exact same named oracle the randomized sweep runs, so the
+//! deterministic Table-1 anchor and the fuzzed instances can never
+//! drift apart.
+
+use faultline_analysis::table1::TABLE1_PAIRS;
+use faultline_conformance::{oracle_by_name, Instance, Verdict, ABS_SLACK, GRID_RTOL};
+use proptest::prelude::*;
+
+/// A hand-built instance pointing the oracle at one `(n, f)` pair with
+/// an explicit window and grid.
+fn thm1_instance(n: usize, f: usize, xmax: f64, grid_points: usize) -> Instance {
+    Instance {
+        index: 0,
+        seed: 0,
+        n,
+        f,
+        strategy: "paper".to_owned(),
+        xmax,
+        grid_points,
+        targets: vec![1.5],
+        mask: Vec::new(),
+        schedule: None,
+    }
+}
+
+#[test]
+fn every_table1_pair_matches_theorem_1_within_grid_tolerance() {
+    let oracle = oracle_by_name("thm1-closed-form-measured").unwrap();
+    for &(n, f) in TABLE1_PAIRS {
+        let verdict = oracle.check(&thm1_instance(n, f, 40.0, 96), false);
+        assert_eq!(
+            verdict,
+            Verdict::Pass,
+            "(n={n}, f={f}) vs tolerance band [thm1*(1-{GRID_RTOL}), thm1+{ABS_SLACK}]: {verdict:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The agreement is not an artifact of one window: any reasonable
+    /// `(xmax, grid)` drawn at random stays inside the same band on
+    /// every small Table-1 pair. Pairs with large `n` are excluded
+    /// only for debug-mode runtime, not correctness — the
+    /// deterministic test above covers them.
+    #[test]
+    fn table1_agreement_holds_across_random_windows(
+        pair_idx in 0usize..TABLE1_PAIRS.len(),
+        xmax in 24.0f64..64.0,
+        grid_points in 64usize..128,
+    ) {
+        let (n, f) = TABLE1_PAIRS[pair_idx];
+        prop_assume!(n <= 11);
+        let oracle = oracle_by_name("thm1-closed-form-measured").unwrap();
+        let verdict = oracle.check(&thm1_instance(n, f, xmax, grid_points), false);
+        prop_assert_eq!(
+            verdict.clone(),
+            Verdict::Pass,
+            "(n={}, f={}), xmax {}, grid {}: {:?}", n, f, xmax, grid_points, verdict
+        );
+    }
+}

@@ -222,6 +222,81 @@ fn cache_hit_speedup_on_repeated_table1_workload() {
 }
 
 #[test]
+fn tight_cache_budget_evicts_oldest_first_and_recomputes_identically() {
+    const A: &str = "/v1/cr?n=3&f=1";
+    const B: &str = "/v1/cr?n=5&f=2";
+    const C: &str = "/v1/cr?n=7&f=3";
+
+    // Pre-flight on a roomy server: measure each entry's exact charge
+    // (canonical key + body bytes) from the live-bytes gauge, and keep
+    // the reference bodies for byte-identity checks after re-compute.
+    let (roomy, addr) = spawn(ServeConfig::default());
+    let state = roomy.state();
+    let mut charges = Vec::new();
+    let mut bodies = Vec::new();
+    for path in [A, B, C] {
+        let before = state.cache.live_bytes();
+        let response = get(&addr, path);
+        assert_eq!(response.status, 200);
+        assert_eq!(response.header("X-Cache"), Some("miss"));
+        charges.push(state.cache.live_bytes() - before);
+        bodies.push(response.body);
+    }
+    roomy.shutdown();
+
+    // One shard whose budget holds any two of the entries but not all
+    // three, so the third insertion must evict exactly one entry.
+    let budget: usize = charges.iter().sum::<usize>() - 1;
+    let (handle, addr) =
+        spawn(ServeConfig { cache_bytes: budget, cache_shards: 1, ..ServeConfig::default() });
+    let state = handle.state();
+
+    let miss_a = get(&addr, A);
+    assert_eq!(miss_a.header("X-Cache"), Some("miss"));
+    let miss_b = get(&addr, B);
+    assert_eq!(miss_b.header("X-Cache"), Some("miss"));
+    assert_eq!(state.cache.live_entries(), 2, "both entries fit the budget");
+    assert_eq!(state.cache.live_bytes(), charges[0] + charges[1]);
+
+    // Hit B: byte-identical, and refreshes B's recency so A becomes
+    // the oldest entry.
+    let hit_b = get(&addr, B);
+    assert_eq!(hit_b.header("X-Cache"), Some("hit"));
+    assert_eq!(hit_b.body, miss_b.body);
+
+    // C overflows the budget: the oldest entry (A, not the refreshed
+    // B) is evicted; the gauges move and stay within budget.
+    let miss_c = get(&addr, C);
+    assert_eq!(miss_c.header("X-Cache"), Some("miss"));
+    assert_eq!(state.cache.live_entries(), 2, "one entry was evicted");
+    assert_eq!(state.cache.live_bytes(), charges[1] + charges[2], "A's bytes were released");
+    assert!(state.cache.live_bytes() <= budget);
+    assert_eq!(get(&addr, B).header("X-Cache"), Some("hit"), "B survived the eviction");
+
+    // A was genuinely evicted: re-requesting is a miss, and the
+    // re-computed body is byte-identical to the original response.
+    let recomputed_a = get(&addr, A);
+    assert_eq!(recomputed_a.header("X-Cache"), Some("miss"), "A was evicted oldest-first");
+    assert_eq!(recomputed_a.body, miss_a.body, "re-compute reproduces the exact bytes");
+    assert_eq!(recomputed_a.body, bodies[0], "and matches the roomy server's bytes");
+
+    // A's reinsertion overflowed the budget again and evicted C, not
+    // the hit-refreshed B: had `get` not updated recency, B (inserted
+    // earliest) would have been the victim and this would be a hit.
+    assert_eq!(state.cache.live_entries(), 2);
+    assert_eq!(state.cache.live_bytes(), charges[0] + charges[1]);
+    assert_eq!(
+        get(&addr, C).header("X-Cache"),
+        Some("miss"),
+        "C was the oldest this time (hits refreshed B's recency)"
+    );
+
+    assert_eq!(state.cache.hits(), 2);
+    assert_eq!(state.cache.misses(), 5);
+    handle.shutdown();
+}
+
+#[test]
 fn graceful_shutdown_drains_in_flight_work_and_refuses_new() {
     let config = ServeConfig { threads: Some(1), ..ServeConfig::default() };
     let (handle, addr) = spawn(config);

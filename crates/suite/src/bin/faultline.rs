@@ -9,6 +9,8 @@
 //! faultline spectrum <n> <f> [xmax]             # CR_k for k = 1..n
 //! faultline animate <n> <f> <dt> <until> <file> # CSV position samples
 //! faultline optimize <n> <f> [--budget=..]      # Thm 1 / Thm 2 gap probe
+//! faultline conformance run [--seed=..]         # differential oracle sweep
+//! faultline conformance replay <file.json>      # reproduce a counterexample
 //! faultline serve [--addr=..] [--threads=..]    # HTTP query service
 //! faultline query <route> [json]                # loopback client
 //! ```
@@ -92,6 +94,9 @@ const USAGE: &str = "usage:
   faultline optimize <n> <f> [--budget=tiny|small|medium|large] [--seed=N]
                      [--xmax=X] [--grid=N] [--checkpoint=FILE]
                      [--resume=FILE] [--json] [--check]
+  faultline conformance run [--seed=N] [--cases=N] [--budget=smoke|default|deep]
+                     [--json] [--out=DIR] [--inject=ORACLE]
+  faultline conformance replay <counterexample.json>
   faultline serve    [--addr=HOST:PORT] [--threads=N] [--cache-bytes=N]
                      [--queue=N] [--timeout-secs=N]
   faultline query    <route> [json body] [--addr=HOST:PORT]
@@ -110,6 +115,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "scenario" => scenario(&args[1..]),
         "replay" => replay(&args[1..]),
         "optimize" => optimize(&args[1..]),
+        "conformance" => conformance(&args[1..]),
         "serve" => serve(&args[1..]),
         "query" => query(&args[1..]),
         other => Err(format!("unknown command `{other}`").into()),
@@ -449,6 +455,77 @@ fn optimize(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             .into());
         }
         eprintln!("check passed: certified lower bound <= best_found_cr <= Thm 1 + 1e-9");
+    }
+    Ok(())
+}
+
+fn conformance(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use faultline_suite::conformance::{self, ConformanceConfig, Counterexample};
+
+    let sub = rest.first().map(String::as_str).ok_or("missing conformance subcommand")?;
+    match sub {
+        "run" => {
+            let mut config = ConformanceConfig::default();
+            let mut json = false;
+            let mut out_dir = std::path::PathBuf::from("out/conformance");
+            for arg in &rest[1..] {
+                if let Some(v) = arg.strip_prefix("--seed=") {
+                    config.seed = v.parse()?;
+                } else if let Some(v) = arg.strip_prefix("--cases=") {
+                    config.cases = v.parse()?;
+                } else if let Some(v) = arg.strip_prefix("--budget=") {
+                    config.budget = v.parse()?;
+                } else if let Some(v) = arg.strip_prefix("--inject=") {
+                    config.inject = Some(v.to_owned());
+                } else if let Some(v) = arg.strip_prefix("--out=") {
+                    out_dir = v.into();
+                } else if arg == "--json" {
+                    json = true;
+                } else {
+                    return Err(format!("unknown conformance run flag `{arg}`").into());
+                }
+            }
+            let report = conformance::run(&config)?;
+            if json {
+                print!("{}", report.to_json()?);
+            } else {
+                print!("{}", report.render());
+            }
+            if !report.passed() {
+                std::fs::create_dir_all(&out_dir)?;
+                for (i, doc) in report.failures.iter().enumerate() {
+                    let path = out_dir.join(format!("counterexample_{}_{i}.json", doc.oracle));
+                    std::fs::write(&path, doc.to_json()?)?;
+                    eprintln!("wrote {}", path.display());
+                }
+                return Err(format!(
+                    "{} oracle violations (replay the counterexamples above with \
+                     `faultline conformance replay <file>`)",
+                    report.failures.len()
+                )
+                .into());
+            }
+        }
+        "replay" => {
+            let path = rest.get(1).ok_or("missing <counterexample.json>")?;
+            let doc = Counterexample::from_json(&std::fs::read_to_string(path)?)?;
+            eprintln!(
+                "replaying oracle `{}` on case {} of seed {} ({}{})",
+                doc.oracle,
+                doc.instance.index,
+                doc.run_seed,
+                doc.instance.regime_label(),
+                if doc.injected { ", injected skew" } else { "" },
+            );
+            doc.replay()?;
+            println!(
+                "counterexample reproduces bit-for-bit: expected {}, observed {} ({})",
+                doc.expected(),
+                doc.observed(),
+                doc.detail
+            );
+        }
+        other => return Err(format!("unknown conformance subcommand `{other}`").into()),
     }
     Ok(())
 }

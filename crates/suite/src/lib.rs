@@ -9,6 +9,8 @@
 //! * [`strategies`](faultline_strategies) — strategy library.
 //! * [`analysis`](faultline_analysis) — table/figure regeneration.
 //! * [`opt`](faultline_opt) — the Theorem 1 / Theorem 2 gap optimizer.
+//! * [`conformance`](faultline_conformance) — cross-layer differential
+//!   oracle harness.
 //!
 //! ```
 //! use faultline_suite::prelude::*;
@@ -27,6 +29,7 @@ pub use faultline_analysis as analysis;
 /// query service can dispatch scenarios as a library; re-exported here
 /// for compatibility).
 pub use faultline_analysis::scenario;
+pub use faultline_conformance as conformance;
 pub use faultline_core as core;
 pub use faultline_opt as opt;
 pub use faultline_sim as sim;
