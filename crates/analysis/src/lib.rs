@@ -49,8 +49,8 @@ pub use figures::FigureData;
 pub use report::{Comparison, ExperimentReport};
 pub use scenario::{run_document, Scenario, ScenarioResult};
 pub use supremum::{
-    measure_free_schedule_cr, measure_free_schedule_profile, measure_strategy_cr,
-    measure_strategy_cr_sim, resolve_strategy, FreeScheduleProfile, MeasuredCr, SupremumQuery,
-    SupremumReport,
+    measure_free_schedule_cr, measure_free_schedule_expected_cr, measure_free_schedule_profile,
+    measure_strategy_cr, measure_strategy_cr_sim, resolve_strategy, FreeScheduleProfile,
+    MeasuredCr, SupremumQuery, SupremumReport,
 };
 pub use table1::Table1Row;

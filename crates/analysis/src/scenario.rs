@@ -17,8 +17,15 @@
 //!   `"randomized-sweep"` with an optional `"seed"` field.
 //! * `faulty` — explicit faulty robot indices; omit to use the
 //!   worst-case adversary per target.
-//! * `seed` — explicit RNG seed for `"randomized-sweep"` (default 0);
-//!   the same seed always reproduces the same coin flips.
+//! * `fault_plan` — one [`faultline_sim::FaultKind`] per robot (e.g.
+//!   `["Reliable", {"Byzantine": {"lie_rate": 0.75}}]`), engaging the
+//!   extended taxonomy; mutually exclusive with `faulty`.
+//! * `quorum` — number of distinct claimants required to confirm a
+//!   position (requires `fault_plan`); omit for the paper's
+//!   first-report rule.
+//! * `seed` — explicit RNG seed for `"randomized-sweep"` or for the
+//!   per-visit coins of a coin-driven `fault_plan` (default 0); the
+//!   same seed always reproduces the same coin flips.
 //!
 //! The CLI also accepts a recorded failure trace
 //! ([`faultline_sim::RunTrace`] JSON) wherever a scenario file is
@@ -27,7 +34,10 @@
 
 use faultline_core::{json_float, Error, Params, Result, TrajectoryPlan};
 use faultline_sim::engine::SimConfig;
-use faultline_sim::{worst_case_outcome, FaultMask, RunTrace, SearchOutcome, Simulation, Target};
+use faultline_sim::{
+    worst_case_outcome, FaultKind, FaultMask, FaultPlan, QuorumConfig, RunTrace, SearchOutcome,
+    Simulation, Target,
+};
 use faultline_strategies::{
     strategy_by_name, RandomizedStrategy, RandomizedSweepStrategy, Strategy,
 };
@@ -55,8 +65,16 @@ pub struct Scenario {
     /// Explicit faulty robots; `None` = worst-case adversary.
     #[serde(default)]
     pub faulty: Option<Vec<usize>>,
-    /// Explicit RNG seed, only for `strategy = "randomized-sweep"`
-    /// (defaults to 0 there).
+    /// Explicit per-robot fault kinds from the extended taxonomy;
+    /// mutually exclusive with `faulty`.
+    #[serde(default)]
+    pub fault_plan: Option<Vec<FaultKind>>,
+    /// Claim-quorum votes (requires `fault_plan`); `None` = the
+    /// paper's first-report rule.
+    #[serde(default)]
+    pub quorum: Option<usize>,
+    /// Explicit RNG seed for `strategy = "randomized-sweep"` or for
+    /// the coins of a coin-driven `fault_plan` (defaults to 0).
     #[serde(default)]
     pub seed: Option<u64>,
 }
@@ -78,6 +96,12 @@ pub struct ScenarioResult {
     pub detected_by: Option<usize>,
     /// Distinct robots that visited the target up to detection.
     pub distinct_visitors: usize,
+    /// The position confirmed by the claim quorum, when one was
+    /// configured and reached. Absent for legacy first-report runs.
+    pub confirmed_position: Option<f64>,
+    /// Number of false (Byzantine) claims asserted during the run.
+    /// Zero — and absent from the JSON — outside Byzantine regimes.
+    pub false_claims: usize,
 }
 
 // Manual serde impls: `ratio` is infinite for undetected targets; a
@@ -91,7 +115,7 @@ impl Serialize for ScenarioResult {
         serializer: S,
     ) -> std::result::Result<S::Ok, S::Error> {
         use serde::ser::Error as _;
-        serializer.serialize_value(serde::Value::Object(vec![
+        let mut fields = vec![
             ("target".to_owned(), json_float::encode_f64(self.target)),
             (
                 "detection_time".to_owned(),
@@ -103,7 +127,16 @@ impl Serialize for ScenarioResult {
                 serde::to_value(&self.detected_by).map_err(S::Error::custom)?,
             ),
             ("distinct_visitors".to_owned(), serde::Value::UInt(self.distinct_visitors as u64)),
-        ]))
+        ];
+        // Quorum fields appear only when a quorum run produced them,
+        // keeping pre-quorum documents byte-identical.
+        if let Some(confirmed) = self.confirmed_position {
+            fields.push(("confirmed_position".to_owned(), json_float::encode_f64(confirmed)));
+        }
+        if self.false_claims > 0 {
+            fields.push(("false_claims".to_owned(), serde::Value::UInt(self.false_claims as u64)));
+        }
+        serializer.serialize_value(serde::Value::Object(fields))
     }
 }
 
@@ -124,12 +157,30 @@ impl<'de> Deserialize<'de> for ScenarioResult {
         let detected_by = serde::from_value(take("detected_by")?).map_err(D::Error::custom)?;
         let distinct_visitors =
             serde::from_value(take("distinct_visitors")?).map_err(D::Error::custom)?;
+        // Optional quorum fields: absent in pre-quorum documents.
+        let confirmed_position =
+            match fields.iter().position(|(key, _)| key == "confirmed_position") {
+                Some(i) => {
+                    let value = fields.remove(i).1;
+                    Some(
+                        json_float::decode_f64(&value, "confirmed_position")
+                            .map_err(D::Error::custom)?,
+                    )
+                }
+                None => None,
+            };
+        let false_claims = match fields.iter().position(|(key, _)| key == "false_claims") {
+            Some(i) => serde::from_value(fields.remove(i).1).map_err(D::Error::custom)?,
+            None => 0,
+        };
         Ok(ScenarioResult {
             target: json_float::decode_f64(&target_raw, "target").map_err(D::Error::custom)?,
             detection_time,
             ratio: json_float::decode_f64(&ratio_raw, "ratio").map_err(D::Error::custom)?,
             detected_by,
             distinct_visitors,
+            confirmed_position,
+            false_claims,
         })
     }
 }
@@ -142,6 +193,8 @@ impl ScenarioResult {
             ratio: outcome.ratio(),
             detected_by: outcome.detection.as_ref().map(|d| d.robot.0),
             distinct_visitors: outcome.distinct_visitors(),
+            confirmed_position: outcome.confirmed_position,
+            false_claims: outcome.claims.iter().filter(|c| !c.truthful).count(),
         }
     }
 }
@@ -195,12 +248,29 @@ impl Scenario {
                 }
             }
         }
-        if self.seed.is_some() && self.strategy != "randomized-sweep" {
+        // A seed is meaningful wherever coins are flipped: the
+        // randomized-sweep strategy, or a fault plan whose kinds draw
+        // per-visit/per-turn coins.
+        let coin_driven_plan = self.fault_plan.as_ref().is_some_and(|kinds| {
+            kinds.iter().any(|k| {
+                matches!(
+                    k,
+                    FaultKind::Intermittent { .. }
+                        | FaultKind::Byzantine { .. }
+                        | FaultKind::PFaulty { .. }
+                )
+            })
+        });
+        if self.seed.is_some() && self.strategy != "randomized-sweep" && !coin_driven_plan {
             return Err(Error::domain(
-                "\"seed\" is only meaningful with strategy \"randomized-sweep\"",
+                "\"seed\" is only meaningful with strategy \"randomized-sweep\" or a \
+                 coin-driven \"fault_plan\"",
             ));
         }
         if let Some(faulty) = &self.faulty {
+            if self.fault_plan.is_some() {
+                return Err(Error::domain("\"faulty\" and \"fault_plan\" are mutually exclusive"));
+            }
             if faulty.len() > self.f {
                 return Err(Error::invalid_params(
                     self.n,
@@ -209,6 +279,32 @@ impl Scenario {
                 ));
             }
             FaultMask::from_indices(self.n, faulty)?;
+        }
+        if let Some(kinds) = &self.fault_plan {
+            if kinds.len() != self.n {
+                return Err(Error::invalid_params(
+                    self.n,
+                    self.f,
+                    format!(
+                        "fault plan covers {} robots but the fleet has {}",
+                        kinds.len(),
+                        self.n
+                    ),
+                ));
+            }
+            FaultPlan::new(kinds.clone())?.check_budget(self.f)?;
+        }
+        if let Some(votes) = self.quorum {
+            if self.fault_plan.is_none() {
+                return Err(Error::domain("\"quorum\" requires an explicit \"fault_plan\""));
+            }
+            QuorumConfig::new(votes)?;
+            if votes > self.n {
+                return Err(Error::domain(format!(
+                    "quorum of {votes} votes exceeds the fleet size n = {}",
+                    self.n
+                )));
+            }
         }
         Ok(())
     }
@@ -254,14 +350,31 @@ impl Scenario {
         // the core work-stealing engine (honours FAULTLINE_THREADS).
         faultline_core::par_map(&self.targets, |&x| {
             let target = Target::new(x)?;
-            let outcome: SearchOutcome = match &self.faulty {
-                Some(faulty) => {
-                    let mask = FaultMask::from_indices(self.n, faulty)?;
-                    Simulation::new(trajectories.clone(), target, &mask, SimConfig::default())?
-                        .run()
-                }
-                None => {
-                    worst_case_outcome(trajectories.clone(), target, self.f, SimConfig::default())?
+            let outcome: SearchOutcome = if let Some(kinds) = &self.fault_plan {
+                let plan = FaultPlan::new(kinds.clone())?;
+                let quorum = self.quorum.map(QuorumConfig::new).transpose()?;
+                Simulation::with_quorum(
+                    trajectories.clone(),
+                    target,
+                    &plan,
+                    self.seed.unwrap_or(0),
+                    SimConfig::default(),
+                    quorum,
+                )?
+                .run()
+            } else {
+                match &self.faulty {
+                    Some(faulty) => {
+                        let mask = FaultMask::from_indices(self.n, faulty)?;
+                        Simulation::new(trajectories.clone(), target, &mask, SimConfig::default())?
+                            .run()
+                    }
+                    None => worst_case_outcome(
+                        trajectories.clone(),
+                        target,
+                        self.f,
+                        SimConfig::default(),
+                    )?,
                 }
             };
             Ok(ScenarioResult::from_outcome(x, &outcome))
@@ -443,6 +556,88 @@ mod tests {
 
         // Garbage is rejected with the scenario parser's error.
         assert!(run_document("{ not json").is_err());
+    }
+
+    #[test]
+    fn byzantine_fault_plan_with_quorum_confirms_the_target() {
+        // n = 5, f = 2, two liars, f + 1 = 3 quorum: the canonical
+        // n >= 2f + 1 Byzantine regime.
+        let s = Scenario::from_json(
+            r#"{"n": 5, "f": 2, "targets": [2.0, -4.5],
+                "fault_plan": ["Reliable", "Reliable", "Reliable",
+                               {"Byzantine": {"lie_rate": 0.75}},
+                               {"Byzantine": {"lie_rate": 0.75}}],
+                "quorum": 3, "seed": 9}"#,
+        )
+        .unwrap();
+        let results = s.run().unwrap();
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert!(r.detection_time.is_some(), "honest majority confirms target {}", r.target);
+            assert!(r.ratio.is_finite());
+        }
+        // Deterministic in the seed.
+        assert_eq!(s.run().unwrap(), results);
+    }
+
+    #[test]
+    fn pfaulty_fault_plan_runs_seeded() {
+        let s = Scenario::from_json(
+            r#"{"n": 3, "f": 1, "targets": [3.0],
+                "fault_plan": [{"PFaulty": {"detect_probability": 0.5}},
+                               "Reliable", "Reliable"],
+                "seed": 4}"#,
+        )
+        .unwrap();
+        let results = s.run().unwrap();
+        assert!(results[0].detection_time.is_some());
+        assert_eq!(s.run().unwrap(), results);
+    }
+
+    #[test]
+    fn fault_plan_validation_rejects_malformed_documents() {
+        // Wrong plan length.
+        assert!(Scenario::from_json(
+            r#"{"n": 3, "f": 1, "targets": [2.0], "fault_plan": ["Reliable"]}"#
+        )
+        .is_err());
+        // Out-of-range parameter: a typed error, not a panic.
+        assert!(Scenario::from_json(
+            r#"{"n": 3, "f": 1, "targets": [2.0],
+                "fault_plan": [{"Byzantine": {"lie_rate": 7.0}}, "Reliable", "Reliable"]}"#
+        )
+        .is_err());
+        // Over budget: two faults with f = 1.
+        assert!(Scenario::from_json(
+            r#"{"n": 3, "f": 1, "targets": [2.0],
+                "fault_plan": ["Sensor", "Sensor", "Reliable"]}"#
+        )
+        .is_err());
+        // fault_plan and faulty are mutually exclusive.
+        assert!(Scenario::from_json(
+            r#"{"n": 3, "f": 1, "targets": [2.0], "faulty": [0],
+                "fault_plan": ["Sensor", "Reliable", "Reliable"]}"#
+        )
+        .is_err());
+        // Quorum without a fault plan, zero votes, or more votes than
+        // robots.
+        assert!(Scenario::from_json(r#"{"n": 3, "f": 1, "targets": [2.0], "quorum": 2}"#).is_err());
+        assert!(Scenario::from_json(
+            r#"{"n": 3, "f": 1, "targets": [2.0],
+                "fault_plan": ["Sensor", "Reliable", "Reliable"], "quorum": 0}"#
+        )
+        .is_err());
+        assert!(Scenario::from_json(
+            r#"{"n": 3, "f": 1, "targets": [2.0],
+                "fault_plan": ["Sensor", "Reliable", "Reliable"], "quorum": 4}"#
+        )
+        .is_err());
+        // A seed still needs something that flips coins.
+        assert!(Scenario::from_json(
+            r#"{"n": 3, "f": 1, "targets": [2.0],
+                "fault_plan": ["Sensor", "Reliable", "Reliable"], "seed": 7}"#
+        )
+        .is_err());
     }
 
     #[test]

@@ -355,6 +355,65 @@ pub fn measure_free_schedule_profile(
     }
 }
 
+/// Measures the *expected* competitive ratio of a [`FreeSchedule`]
+/// when every robot is p-faulty with the given per-visit detection
+/// probability: the supremum over the adversarial target grid of the
+/// exact closed-form expectation
+/// ([`faultline_sim::expected_outcome`]), with undetected mass
+/// truncated at the measurement horizon.
+///
+/// A target is *uncovered* when no robot ever stands on it within the
+/// horizon (its detection probability is exactly zero no matter how
+/// large `p` is); the horizon doubles up to eight times until every
+/// grid target is visited at least once, mirroring
+/// [`measure_free_schedule_profile`].
+///
+/// # Errors
+///
+/// Rejects `xmax <= 1` and out-of-range probabilities, and propagates
+/// materialization failures.
+pub fn measure_free_schedule_expected_cr(
+    schedule: &FreeSchedule,
+    detect_probability: f64,
+    xmax: f64,
+    grid_points: usize,
+) -> Result<MeasuredCr> {
+    if !(xmax > 1.0) || !xmax.is_finite() {
+        return Err(Error::domain(format!("xmax must be finite and > 1, got {xmax}")));
+    }
+    let plans = schedule.plans();
+    let pad = 1.0 + 2.0 * TURNING_POINT_EPS;
+    let mut horizon = schedule.horizon_hint(xmax * pad).max(4.0 * xmax);
+    let mut attempt = 0usize;
+    loop {
+        let fleet = Fleet::from_plans(&plans, horizon)?;
+        let targets = fleet_targets(&fleet, xmax, grid_points)?;
+        let mut empirical = 0.0f64;
+        let mut argmax = 0.0f64;
+        let mut uncovered = 0usize;
+        for &x in &targets {
+            let e = faultline_sim::expected_outcome(
+                fleet.trajectories(),
+                faultline_sim::Target::new(x)?,
+                detect_probability,
+            )?;
+            if e.visits == 0 {
+                uncovered += 1;
+                continue;
+            }
+            if e.expected_ratio > empirical {
+                empirical = e.expected_ratio;
+                argmax = x;
+            }
+        }
+        if uncovered == 0 || attempt >= 8 {
+            return Ok(MeasuredCr { analytic: None, empirical, argmax, uncovered });
+        }
+        horizon *= 2.0;
+        attempt += 1;
+    }
+}
+
 /// Measures the competitive ratio of a strategy through the
 /// discrete-event simulator with the worst-case fault adversary — an
 /// execution path entirely independent of [`measure_strategy_cr`].
@@ -595,5 +654,48 @@ mod tests {
         let params = Params::new(6, 2).unwrap();
         let m = measure_strategy_cr(&PaperStrategy::new(), params, 30.0, 50).unwrap();
         assert!((m.empirical - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_cr_validates_inputs_and_is_monotone_in_p() {
+        use faultline_core::FreeRobot;
+        let schedule =
+            FreeSchedule::new(vec![FreeRobot::new(1.0, vec![1.0, 2.0], 1.0).unwrap()]).unwrap();
+        assert!(measure_free_schedule_expected_cr(&schedule, 0.5, 1.0, 16).is_err(), "xmax <= 1");
+        assert!(measure_free_schedule_expected_cr(&schedule, f64::NAN, 10.0, 16).is_err());
+        assert!(measure_free_schedule_expected_cr(&schedule, 1.5, 10.0, 16).is_err());
+        let mut prev = f64::INFINITY;
+        for p in [0.2, 0.4, 0.6, 0.8, 1.0] {
+            let m = measure_free_schedule_expected_cr(&schedule, p, 20.0, 24).unwrap();
+            assert_eq!(m.uncovered, 0, "p = {p} leaves uncovered targets");
+            assert!(m.analytic.is_none());
+            assert!(
+                m.empirical <= prev + 1e-12,
+                "expected CR must be monotone non-increasing in p: E({p}) = {} > {prev}",
+                m.empirical
+            );
+            prev = m.empirical;
+        }
+    }
+
+    #[test]
+    fn expected_cr_at_certain_detection_matches_the_reliable_measurement() {
+        use faultline_core::FreeRobot;
+        // With p = 1 every visit detects, so the expectation collapses
+        // to the first-visit time — exactly the f = 0 worst case.
+        let schedule = FreeSchedule::new(vec![
+            FreeRobot::new(1.0, vec![1.0, 2.0], 1.0).unwrap(),
+            FreeRobot::new(-1.0, vec![1.0, 2.0], 1.0).unwrap(),
+        ])
+        .unwrap();
+        let expected = measure_free_schedule_expected_cr(&schedule, 1.0, 15.0, 32).unwrap();
+        let reliable = measure_free_schedule_cr(&schedule, 0, 15.0, 32, &[]).unwrap();
+        assert_eq!(expected.uncovered, 0);
+        assert!(
+            (expected.empirical - reliable.empirical).abs() <= 1e-9,
+            "p = 1 expectation {} vs reliable measurement {}",
+            expected.empirical,
+            reliable.empirical
+        );
     }
 }

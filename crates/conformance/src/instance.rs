@@ -54,6 +54,18 @@ pub struct Instance {
     /// perturbed); `None` in the two-group regime, which has no
     /// proportional schedule to lower.
     pub schedule: Option<FreeSchedule>,
+    /// Lie rate for Byzantine-regime cases (`index % 5 == 3`): the
+    /// masked robots become `Byzantine { lie_rate }` under the
+    /// claim-quorum oracles. `None` for every other case; defaulted on
+    /// deserialization so pre-Byzantine counterexample documents still
+    /// load.
+    #[serde(default)]
+    pub lie_rate: Option<f64>,
+    /// Per-visit detection probability for p-faulty cases
+    /// (`index % 5 == 4`), driving the expected-CR oracles. `None`
+    /// otherwise.
+    #[serde(default)]
+    pub detect_probability: Option<f64>,
 }
 
 /// SplitMix64 finalizer: decorrelates per-instance streams drawn from
@@ -136,6 +148,17 @@ impl Instance {
                 }
             });
 
+        // Fault-regime add-ons draw last so every pre-existing field
+        // of every pre-existing case is unchanged by their
+        // introduction. Two of every five cases get a probabilistic
+        // regime: Byzantine liars (the masked robots) or p-faulty
+        // sensors.
+        let (lie_rate, detect_probability) = match index % 5 {
+            3 => (Some(0.25 + 0.75 * rng.random_range(0.0..1.0)), None),
+            4 => (None, Some(rng.random_range(0.05..0.95))),
+            _ => (None, None),
+        };
+
         Instance {
             index,
             seed,
@@ -147,6 +170,8 @@ impl Instance {
             targets,
             mask: indices,
             schedule,
+            lie_rate,
+            detect_probability,
         }
     }
 
@@ -249,6 +274,52 @@ mod tests {
         for want in ["single-robot", "proportional", "two-group"] {
             assert!(labels.contains(&want), "missing {want} in {labels:?}");
         }
+    }
+
+    #[test]
+    fn probabilistic_regimes_cycle_with_valid_parameters() {
+        let mut saw_byzantine = false;
+        let mut saw_pfaulty = false;
+        for index in 0..20u64 {
+            let instance = Instance::generate(9, index, &CAPS);
+            match index % 5 {
+                3 => {
+                    let rate = instance.lie_rate.expect("index % 5 == 3 draws a lie rate");
+                    assert!((0.25..1.0).contains(&rate), "lie rate {rate} out of range");
+                    assert_eq!(instance.detect_probability, None);
+                    saw_byzantine = true;
+                }
+                4 => {
+                    let p = instance.detect_probability.expect("index % 5 == 4 draws p");
+                    assert!((0.05..0.95).contains(&p), "detect probability {p} out of range");
+                    assert_eq!(instance.lie_rate, None);
+                    saw_pfaulty = true;
+                }
+                _ => {
+                    assert_eq!(instance.lie_rate, None);
+                    assert_eq!(instance.detect_probability, None);
+                }
+            }
+        }
+        assert!(saw_byzantine && saw_pfaulty);
+    }
+
+    #[test]
+    fn pre_byzantine_documents_still_deserialize() {
+        let plain = Instance::generate(9, 0, &CAPS);
+        let json = serde_json::to_string(&plain).unwrap();
+        let back: Instance = serde_json::from_str(&json).unwrap();
+        assert_eq!(plain, back, "new fields round-trip");
+        // A document written before the probabilistic regimes existed
+        // has neither field; `#[serde(default)]` fills in None.
+        let stripped = json
+            .replace("\"lie_rate\":null,", "")
+            .replace("\"detect_probability\":null,", "")
+            .replace(",\"lie_rate\":null", "")
+            .replace(",\"detect_probability\":null", "");
+        assert!(!stripped.contains("lie_rate") && !stripped.contains("detect_probability"));
+        let legacy: Instance = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(plain, legacy);
     }
 
     #[test]

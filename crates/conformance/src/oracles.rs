@@ -22,6 +22,12 @@
 //! | `objective-eval-consistency` | optimizer score sits in `(measured, measured + PRESSURE_WEIGHT]` or is `PENALTY` | exact |
 //! | `adversary-dominance` | any in-budget mask detects by `T_(f+1)(x)` | [`REL_TOL`] |
 //! | `replay-determinism` | recorded runs replay bit-for-bit, twice | exact |
+//! | `intermittent-degenerate-equivalence` | `Intermittent{1.0}` ≡ `Sensor`, `Intermittent{0.0}` ≡ `Reliable`, bitwise | exact |
+//! | `pfaulty-endpoint-collapse` | `PFaulty{1.0}` ≡ `Reliable`, `PFaulty{0.0}` ≡ `Sensor`, bitwise | exact |
+//! | `byzantine-quorum-no-false-confirm` | no coalition of `f` liars confirms a false position; quorum detection = honest `T_votes(x)` | [`REL_TOL`] |
+//! | `expected-cr-monotone-in-p` | expected detection time is non-increasing in `p`; `E(1) = T_1(x)` | [`REL_TOL`] |
+
+use std::collections::{BTreeMap, BTreeSet};
 
 use faultline_analysis::{measure_strategy_cr, measure_strategy_cr_sim};
 use faultline_core::closed_form::ClosedForm;
@@ -30,7 +36,10 @@ use faultline_core::trajectory::PiecewiseTrajectory;
 use faultline_core::{certificate, ratio, Algorithm, Params, Result};
 use faultline_opt::{Objective, PENALTY, PRESSURE_WEIGHT};
 use faultline_sim::engine::SimConfig;
-use faultline_sim::{worst_case_outcome, FaultKind, FaultPlan, RunTrace, Target};
+use faultline_sim::{
+    expected_outcome, worst_case_outcome, FaultKind, FaultPlan, QuorumConfig, RunTrace,
+    SearchOutcome, Simulation, Target,
+};
 use faultline_strategies::{strategy_by_name, PaperStrategy};
 
 use crate::instance::Instance;
@@ -143,7 +152,7 @@ pub fn oracle_by_name(name: &str) -> Option<&'static Oracle> {
     ORACLES.iter().find(|o| o.name == name)
 }
 
-static ORACLES: [Oracle; 12] = [
+static ORACLES: [Oracle; 16] = [
     Oracle {
         name: "sim-analytic-detection",
         description: "worst-case simulator detection time equals coverage T_(f+1)(x)",
@@ -216,6 +225,32 @@ static ORACLES: [Oracle; 12] = [
         description: "recorded simulator runs replay bit-for-bit and re-record identically",
         tolerance: 0.0,
         check: replay_determinism,
+    },
+    Oracle {
+        name: "intermittent-degenerate-equivalence",
+        description: "Intermittent{1.0} collapses to Sensor and Intermittent{0.0} to Reliable, bitwise",
+        tolerance: 0.0,
+        check: intermittent_degenerate_equivalence,
+    },
+    Oracle {
+        name: "pfaulty-endpoint-collapse",
+        description: "PFaulty{1.0} collapses to Reliable and PFaulty{0.0} to Sensor, bitwise",
+        tolerance: 0.0,
+        check: pfaulty_endpoint_collapse,
+    },
+    Oracle {
+        name: "byzantine-quorum-no-false-confirm",
+        description:
+            "no coalition of liars confirms a false position; quorum detection is the honest sub-fleet's T_votes",
+        tolerance: REL_TOL,
+        check: byzantine_quorum_no_false_confirm,
+    },
+    Oracle {
+        name: "expected-cr-monotone-in-p",
+        description:
+            "expected detection time is non-increasing in p and collapses to T_1 at p = 1",
+        tolerance: REL_TOL,
+        check: expected_cr_monotone_in_p,
     },
 ];
 
@@ -668,6 +703,268 @@ fn replay_determinism(inst: &Instance, inject: bool) -> Result<Verdict> {
             "re-recording the identical run diverged".to_owned(),
             Some(first),
         ));
+    }
+    Ok(Verdict::Pass)
+}
+
+/// Runs the instance's fleet against one target with an explicit
+/// per-robot fault plan on the instance's coin seed.
+fn plan_outcome(
+    trajectories: &[PiecewiseTrajectory],
+    x: f64,
+    kinds: Vec<FaultKind>,
+    seed: u64,
+) -> Result<SearchOutcome> {
+    let plan = FaultPlan::new(kinds)?;
+    let sim = Simulation::with_faults(
+        trajectories.to_vec(),
+        Target::new(x)?,
+        &plan,
+        seed,
+        SimConfig::default(),
+    )?;
+    Ok(sim.run())
+}
+
+/// The scalar signature a degenerate-equivalence check compares after
+/// asserting full structural equality: detection time, or the horizon
+/// when undetected.
+fn outcome_signature(outcome: &SearchOutcome) -> f64 {
+    outcome.detection.as_ref().map_or(outcome.horizon, |d| d.time)
+}
+
+/// Shared body of the two degenerate-equivalence oracles: the masked
+/// robots run under `masked` in one world and `reference` in the
+/// other; the two outcomes must be bitwise identical.
+fn degenerate_equivalence(
+    inst: &Instance,
+    inject: bool,
+    masked: FaultKind,
+    reference: FaultKind,
+    label: &str,
+) -> Result<Verdict> {
+    let params = inst.params()?;
+    let (trajectories, _) = fleet_for(params, inst.max_target())?;
+    let cast = |kind: FaultKind| -> Vec<FaultKind> {
+        (0..params.n())
+            .map(|i| if inst.mask.contains(&i) { kind } else { FaultKind::Reliable })
+            .collect()
+    };
+    for &x in &inst.targets {
+        let probabilistic = plan_outcome(&trajectories, x, cast(masked), inst.seed)?;
+        let degenerate = plan_outcome(&trajectories, x, cast(reference), inst.seed)?;
+        let expected = outcome_signature(&degenerate);
+        let observed = skew_up(inject, outcome_signature(&probabilistic));
+        if (!inject && probabilistic != degenerate) || observed.to_bits() != expected.to_bits() {
+            return Ok(fail(
+                expected,
+                observed,
+                format!("target {x}, mask {:?}: {label} runs diverged", inst.mask),
+                None,
+            ));
+        }
+    }
+    Ok(Verdict::Pass)
+}
+
+fn intermittent_degenerate_equivalence(inst: &Instance, inject: bool) -> Result<Verdict> {
+    if let v @ Verdict::Fail(_) = degenerate_equivalence(
+        inst,
+        inject,
+        FaultKind::Intermittent { miss_probability: 1.0 },
+        FaultKind::Sensor,
+        "Intermittent{1.0} vs Sensor",
+    )? {
+        return Ok(v);
+    }
+    degenerate_equivalence(
+        inst,
+        false,
+        FaultKind::Intermittent { miss_probability: 0.0 },
+        FaultKind::Reliable,
+        "Intermittent{0.0} vs Reliable",
+    )
+}
+
+fn pfaulty_endpoint_collapse(inst: &Instance, inject: bool) -> Result<Verdict> {
+    if let v @ Verdict::Fail(_) = degenerate_equivalence(
+        inst,
+        inject,
+        FaultKind::PFaulty { detect_probability: 1.0 },
+        FaultKind::Reliable,
+        "PFaulty{1.0} vs Reliable",
+    )? {
+        return Ok(v);
+    }
+    degenerate_equivalence(
+        inst,
+        false,
+        FaultKind::PFaulty { detect_probability: 0.0 },
+        FaultKind::Sensor,
+        "PFaulty{0.0} vs Sensor",
+    )
+}
+
+fn byzantine_quorum_no_false_confirm(inst: &Instance, inject: bool) -> Result<Verdict> {
+    let Some(lie_rate) = inst.lie_rate else {
+        return Ok(Verdict::Skip("instance draws no Byzantine lie rate".to_owned()));
+    };
+    let params = inst.params()?;
+    let (trajectories, _) = fleet_for(params, inst.max_target())?;
+    let kinds: Vec<FaultKind> = (0..params.n())
+        .map(|i| {
+            if inst.mask.contains(&i) {
+                FaultKind::Byzantine { lie_rate }
+            } else {
+                FaultKind::Reliable
+            }
+        })
+        .collect();
+    let plan = FaultPlan::new(kinds)?;
+    // One more vote than there are liars: the smallest quorum the
+    // adversary can never assemble alone.
+    let quorum = QuorumConfig::new(inst.mask.len() + 1)?;
+    let honest: Vec<PiecewiseTrajectory> = (0..params.n())
+        .filter(|i| !inst.mask.contains(i))
+        .map(|i| trajectories[i].clone())
+        .collect();
+    let honest_fleet = Fleet::new(honest)?;
+    for &x in &inst.targets {
+        let bound = honest_fleet.visit_time(x, quorum.votes);
+        let trace = RunTrace::record_with_quorum(
+            format!("conformance byzantine-quorum-no-false-confirm, case {}", inst.index),
+            trajectories.clone(),
+            Target::new(x)?,
+            &plan,
+            inst.seed,
+            SimConfig::default(),
+            bound,
+            Some(quorum),
+        )?;
+        // Tally distinct claimants per asserted position: no position
+        // other than the true target may ever reach the quorum.
+        let mut ballots: BTreeMap<u64, BTreeSet<usize>> = BTreeMap::new();
+        for claim in &trace.outcome.claims {
+            ballots.entry(claim.position.to_bits()).or_default().insert(claim.robot.0);
+        }
+        for (position_bits, backers) in &ballots {
+            let position = f64::from_bits(*position_bits);
+            if position != x && backers.len() >= quorum.votes {
+                return Ok(fail(
+                    x,
+                    position,
+                    format!(
+                        "target {x}, liars {:?}: false position {position} gathered {} votes",
+                        inst.mask,
+                        backers.len()
+                    ),
+                    Some(trace),
+                ));
+            }
+        }
+        if let Some(confirmed) = trace.outcome.confirmed_position {
+            if confirmed != x {
+                return Ok(fail(
+                    x,
+                    confirmed,
+                    format!("target {x}, liars {:?}: quorum confirmed a false position", inst.mask),
+                    Some(trace),
+                ));
+            }
+        }
+        match (bound, &trace.outcome.detection) {
+            (Some(bound), Some(detection)) => {
+                let observed = skew_up(inject, detection.time);
+                if rel_gap(observed, bound) > REL_TOL {
+                    return Ok(fail(
+                        bound,
+                        observed,
+                        format!(
+                            "target {x}, liars {:?}: quorum detection diverges from honest T_{}",
+                            inst.mask, quorum.votes
+                        ),
+                        Some(trace),
+                    ));
+                }
+            }
+            (Some(bound), None) => {
+                return Ok(fail(
+                    bound,
+                    f64::INFINITY,
+                    format!(
+                        "target {x}, liars {:?}: honest coverage reaches the quorum but the run never detected",
+                        inst.mask
+                    ),
+                    Some(trace),
+                ));
+            }
+            (None, Some(detection)) => {
+                return Ok(fail(
+                    f64::INFINITY,
+                    detection.time,
+                    format!(
+                        "target {x}, liars {:?}: detection without honest quorum coverage",
+                        inst.mask
+                    ),
+                    Some(trace),
+                ));
+            }
+            (None, None) => {}
+        }
+    }
+    Ok(Verdict::Pass)
+}
+
+fn expected_cr_monotone_in_p(inst: &Instance, inject: bool) -> Result<Verdict> {
+    let Some(p) = inst.detect_probability else {
+        return Ok(Verdict::Skip("instance draws no detection probability".to_owned()));
+    };
+    let params = inst.params()?;
+    let (trajectories, fleet) = fleet_for(params, inst.max_target())?;
+    let ladder = [0.0, 0.5 * p, p, 0.5 * (1.0 + p), 1.0];
+    for &x in &inst.targets {
+        let mut prev = f64::INFINITY;
+        let mut at_one = f64::NAN;
+        for &q in &ladder {
+            let e = expected_outcome(&trajectories, Target::new(x)?, q)?;
+            if e.visits == 0 {
+                return Ok(fail(
+                    1.0,
+                    0.0,
+                    format!("target {x}: no visits within the fleet horizon"),
+                    None,
+                ));
+            }
+            if e.expected_time > prev * (1.0 + EXACT_TOL) {
+                return Ok(fail(
+                    prev,
+                    e.expected_time,
+                    format!("target {x}: expected detection time increased at p = {q}"),
+                    None,
+                ));
+            }
+            prev = e.expected_time;
+            at_one = e.expected_time;
+        }
+        // At p = 1 every visit detects, so the expectation collapses
+        // to the fleet's first visit — an exact cross-path identity.
+        let Some(t1) = fleet.visit_time(x, 1) else {
+            return Ok(fail(
+                0.0,
+                f64::INFINITY,
+                format!("target {x}: coverage failed to find a first visit"),
+                None,
+            ));
+        };
+        let observed = skew_up(inject, at_one);
+        if rel_gap(observed, t1) > REL_TOL {
+            return Ok(fail(
+                t1,
+                observed,
+                format!("target {x}: E at p = 1 diverges from the first-visit time T_1"),
+                None,
+            ));
+        }
     }
     Ok(Verdict::Pass)
 }

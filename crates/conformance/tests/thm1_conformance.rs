@@ -29,6 +29,8 @@ fn thm1_instance(n: usize, f: usize, xmax: f64, grid_points: usize) -> Instance 
         targets: vec![1.5],
         mask: Vec::new(),
         schedule: None,
+        lie_rate: None,
+        detect_probability: None,
     }
 }
 

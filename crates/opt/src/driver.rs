@@ -53,13 +53,26 @@ pub struct OptimizeConfig {
     /// Scan resolution override; defaults to the budget's grid.
     #[serde(default)]
     pub grid_points: Option<usize>,
+    /// When set, optimize the *expected* competitive ratio with every
+    /// robot p-faulty at this per-visit detection probability instead
+    /// of the worst-case ratio. Defaults to the worst-case objective.
+    #[serde(default)]
+    pub detect_probability: Option<f64>,
 }
 
 impl OptimizeConfig {
     /// A config with all-default knobs for `(n, f)`.
     #[must_use]
     pub fn new(n: usize, f: usize) -> Self {
-        OptimizeConfig { n, f, budget: Budget::default(), seed: 0, xmax: None, grid_points: None }
+        OptimizeConfig {
+            n,
+            f,
+            budget: Budget::default(),
+            seed: 0,
+            xmax: None,
+            grid_points: None,
+            detect_probability: None,
+        }
     }
 
     /// Validates and returns the `(n, f)` pair.
@@ -95,7 +108,17 @@ impl OptimizeConfig {
     ///
     /// Propagates parameter and window validation.
     pub fn objective(&self) -> Result<Objective> {
-        Objective::new(self.params()?, self.resolved_xmax()?, self.resolved_grid_points())
+        match self.detect_probability {
+            Some(p) => Objective::with_detect_probability(
+                self.params()?,
+                self.resolved_xmax()?,
+                self.resolved_grid_points(),
+                p,
+            ),
+            None => {
+                Objective::new(self.params()?, self.resolved_xmax()?, self.resolved_grid_points())
+            }
+        }
     }
 }
 
@@ -521,6 +544,33 @@ mod tests {
         assert_eq!(config.xmax, None);
         assert!(config.resolved_xmax().unwrap() >= 25.0);
         assert_eq!(config.resolved_grid_points(), Budget::Small.knobs().grid_points);
+        assert_eq!(config.detect_probability, None);
+        assert_eq!(config.objective().unwrap().detect_probability(), None);
+    }
+
+    #[test]
+    fn detect_probability_switches_the_objective_to_expected_cr() {
+        let config: OptimizeConfig =
+            serde_json::from_str(r#"{"n": 3, "f": 1, "detect_probability": 0.5}"#).unwrap();
+        assert_eq!(config.detect_probability, Some(0.5));
+        let objective = config.objective().unwrap();
+        assert_eq!(objective.detect_probability(), Some(0.5));
+        assert_eq!(objective.floor(), 0.0);
+
+        let bad: OptimizeConfig =
+            serde_json::from_str(r#"{"n": 3, "f": 1, "detect_probability": 1.5}"#).unwrap();
+        assert!(bad.objective().is_err(), "out-of-range probability must fail at construction");
+    }
+
+    #[test]
+    fn expected_cr_run_terminates_with_a_finite_best() {
+        let mut config = tiny_config(3, 1);
+        config.detect_probability = Some(0.5);
+        let state = init_state(&config).unwrap();
+        assert!(state.baseline_cr.is_finite() && state.baseline_cr < PENALTY);
+        // The expectation truncates undetected mass at the horizon, so
+        // it is still a ratio >= 1 on a covered window.
+        assert!(state.baseline_cr >= 1.0);
     }
 
     #[test]

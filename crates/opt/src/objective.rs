@@ -15,11 +15,13 @@
 //! rejected rather than accepted as progress.
 
 use faultline_analysis::{
-    measure_free_schedule_cr, measure_free_schedule_profile, FreeScheduleProfile, MeasuredCr,
+    measure_free_schedule_cr, measure_free_schedule_expected_cr, measure_free_schedule_profile,
+    FreeScheduleProfile, MeasuredCr,
 };
 use faultline_core::certificate::certify_alpha;
 use faultline_core::lower_bound::{adversary_points, alpha};
 use faultline_core::{Error, FreeSchedule, Params, Regime, Result};
+use faultline_sim::FaultKind;
 
 /// Large finite sentinel returned by [`Objective::eval`] for
 /// candidates that cannot be honestly measured. Finite so it can pass
@@ -50,6 +52,7 @@ pub struct Objective {
     grid_points: usize,
     adversary: Vec<f64>,
     floor: f64,
+    detect_probability: Option<f64>,
 }
 
 impl Objective {
@@ -91,7 +94,34 @@ impl Objective {
                 .collect();
             floor = certify_alpha(n)?.lo;
         }
-        Ok(Objective { params, xmax, grid_points, adversary, floor })
+        Ok(Objective { params, xmax, grid_points, adversary, floor, detect_probability: None })
+    }
+
+    /// Builds an *expected*-CR objective: every robot is p-faulty with
+    /// the given per-visit detection probability and candidates are
+    /// scored by the supremum over the window of the exact expected
+    /// competitive ratio instead of the worst-case one.
+    ///
+    /// No certified floor applies (the worst-case lower bound does not
+    /// bound an expectation) and the paper's adversarial placements are
+    /// dropped — the expectation has no Theorem 2 structure to probe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Domain`] for a window or resolution rejected by
+    /// [`Objective::new`], or a probability outside `[0, 1]`.
+    pub fn with_detect_probability(
+        params: Params,
+        xmax: f64,
+        grid_points: usize,
+        detect_probability: f64,
+    ) -> Result<Self> {
+        FaultKind::PFaulty { detect_probability }.validate()?;
+        let mut objective = Objective::new(params, xmax, grid_points)?;
+        objective.adversary = Vec::new();
+        objective.floor = 0.0;
+        objective.detect_probability = Some(detect_probability);
+        Ok(objective)
     }
 
     /// The default measurement window for `(n, f)`: wide enough to
@@ -130,6 +160,13 @@ impl Objective {
         self.floor
     }
 
+    /// The p-faulty detection probability, or `None` for the default
+    /// worst-case objective.
+    #[must_use]
+    pub fn detect_probability(&self) -> Option<f64> {
+        self.detect_probability
+    }
+
     /// Raw measurement of a schedule's worst-case ratio over the
     /// window, without the penalty totalization — used for reporting
     /// and for the final cross-check.
@@ -139,21 +176,34 @@ impl Objective {
     /// Propagates measurement failures (invalid `(n, f)` vs. schedule
     /// size, degenerate window).
     pub fn measure(&self, schedule: &FreeSchedule) -> Result<MeasuredCr> {
-        measure_free_schedule_cr(
-            schedule,
-            self.params.f(),
-            self.xmax,
-            self.grid_points,
-            &self.adversary,
-        )
+        match self.detect_probability {
+            Some(p) => measure_free_schedule_expected_cr(schedule, p, self.xmax, self.grid_points),
+            None => measure_free_schedule_cr(
+                schedule,
+                self.params.f(),
+                self.xmax,
+                self.grid_points,
+                &self.adversary,
+            ),
+        }
     }
 
     /// Raw measurement plus the peak-pressure tie-breaker.
+    ///
+    /// In the expected-CR regime the pressure has no analogue — the
+    /// expectation already averages over every peak — so it is pinned
+    /// to `1.0` (the maximal value), keeping `eval`'s tie-breaker inert
+    /// without branching downstream code.
     ///
     /// # Errors
     ///
     /// Propagates measurement failures.
     pub fn profile(&self, schedule: &FreeSchedule) -> Result<FreeScheduleProfile> {
+        if let Some(p) = self.detect_probability {
+            let measured =
+                measure_free_schedule_expected_cr(schedule, p, self.xmax, self.grid_points)?;
+            return Ok(FreeScheduleProfile { measured, pressure: 1.0 });
+        }
         measure_free_schedule_profile(
             schedule,
             self.params.f(),
@@ -236,6 +286,34 @@ mod tests {
         let small = lowered(3, 1, 5);
         assert_eq!(objective.eval(&small), PENALTY);
         assert!(objective.measure(&small).is_err());
+    }
+
+    #[test]
+    fn expected_cr_objective_validates_and_scores_monotonically() {
+        let params = Params::new(3, 1).unwrap();
+        assert!(Objective::with_detect_probability(params, 10.0, 16, -0.1).is_err());
+        assert!(Objective::with_detect_probability(params, 10.0, 16, 1.5).is_err());
+        assert!(Objective::with_detect_probability(params, 10.0, 16, f64::NAN).is_err());
+        let seed = lowered(3, 1, 6);
+        let mut prev = f64::INFINITY;
+        for p in [0.25, 0.5, 1.0] {
+            let objective = Objective::with_detect_probability(params, 10.0, 24, p).unwrap();
+            assert_eq!(objective.detect_probability(), Some(p));
+            assert_eq!(objective.floor(), 0.0);
+            let value = objective.eval(&seed);
+            assert!(value.is_finite() && value < PENALTY);
+            assert!(
+                value <= prev + 1e-12,
+                "expected-CR score must not increase with p: eval({p}) = {value} > {prev}"
+            );
+            prev = value;
+        }
+    }
+
+    #[test]
+    fn worst_case_objective_reports_no_detect_probability() {
+        let objective = Objective::new(Params::new(3, 1).unwrap(), 10.0, 16).unwrap();
+        assert_eq!(objective.detect_probability(), None);
     }
 
     #[test]

@@ -40,6 +40,21 @@ pub const SCENARIO_PRESETS: &[(&str, &str)] = &[
         "randomized",
         r#"{"n": 3, "f": 1, "strategy": "randomized-sweep", "targets": [2.0, -4.5, 7.0]}"#,
     ),
+    // n = 2f + 1 with f Byzantine liars and an f + 1 = 3 claim quorum:
+    // the canonical regime in which no coalition of liars can confirm
+    // a false position. Lie coins are seed-driven, so requests may
+    // pass an explicit "seed" alongside the name.
+    (
+        "byzantine",
+        r#"{"n": 5, "f": 2, "targets": [2.0, -6.0, 12.0], "fault_plan": ["Reliable", "Reliable", "Reliable", {"Byzantine": {"lie_rate": 0.75}}, {"Byzantine": {"lie_rate": 0.75}}], "quorum": 3}"#,
+    ),
+    // One probabilistically-faulty sensor among reliable peers; each
+    // of its visits detects independently with probability 1/2 on the
+    // seeded coin stream.
+    (
+        "p-faulty",
+        r#"{"n": 3, "f": 1, "targets": [2.0, -4.5, 7.0], "fault_plan": [{"PFaulty": {"detect_probability": 0.5}}, "Reliable", "Reliable"]}"#,
+    ),
 ];
 
 fn key_for(route: Route, resolved: &serde::Value) -> String {
@@ -340,6 +355,16 @@ mod tests {
             .unwrap_or_else(|e| panic!("preset {name}: {e:?}"));
             assert!(prepared.cache_key.starts_with("/v1/scenario|"));
         }
+    }
+
+    #[test]
+    fn byzantine_preset_confirms_only_the_true_target() {
+        let prepared =
+            prepare(Route::Scenario, &post("/v1/scenario", r#"{"name": "byzantine", "seed": 3}"#))
+                .unwrap();
+        let body = String::from_utf8((prepared.compute)().expect("scenario runs")).unwrap();
+        assert!(body.contains("\"confirmed_position\""), "quorum runs record a confirmation");
+        assert!(body.contains("\"false_claims\""), "lie_rate 0.75 liars assert false claims");
     }
 
     #[test]

@@ -13,16 +13,30 @@
 //! (and when) its sensor report arrives. The paper's permanent sensor
 //! fault drops every report; the extended taxonomy
 //! ([`crate::fault::FaultKind`]) can drop individual visits
-//! (intermittent), postpone reports (delayed), or dilate the whole
-//! schedule (speed-degraded). The event loop itself is fault-agnostic.
+//! (intermittent), postpone reports (delayed), dilate the whole
+//! schedule (speed-degraded), report each visit only with probability
+//! `p` (p-faulty), or assert *false* detections (Byzantine). The event
+//! loop itself is fault-agnostic.
+//!
+//! ## The claim-quorum layer
+//!
+//! With Byzantine robots in the fleet a single report can no longer be
+//! trusted: detections become timestamped *claims* and the search
+//! terminates only when [`QuorumConfig::votes`] distinct robots have
+//! claimed the same position. Honest reports claim the true target;
+//! Byzantine robots inject claims at seeded positions. In the canonical
+//! `n >= 2f + 1` regime with quorum `f + 1`, at least one honest robot
+//! backs every confirmed position, so a lone liar can neither end the
+//! run early nor confirm a false location.
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 use faultline_core::{Error, PiecewiseTrajectory, Result};
+use serde::{Deserialize, Serialize};
 
 use crate::event::{Event, EventKind, EventQueue};
 use crate::fault::{FaultKind, FaultMask, FaultPlan};
-use crate::outcome::{Detection, SearchOutcome, Visit};
+use crate::outcome::{Claim, Detection, SearchOutcome, Visit};
 use crate::robot::RobotId;
 use crate::target::Target;
 
@@ -40,6 +54,60 @@ pub struct SimConfig {
 impl Default for SimConfig {
     fn default() -> Self {
         SimConfig { record_trace: false, stop_at_detection: true }
+    }
+}
+
+/// Claim-quorum configuration: the search confirms a position (and the
+/// run counts as a detection) only once `votes` distinct robots have
+/// claimed it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuorumConfig {
+    /// Number of distinct claimants required to confirm a position.
+    pub votes: usize,
+}
+
+impl QuorumConfig {
+    /// A quorum requiring `votes` distinct claimants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Domain`] when `votes` is zero — a zero-vote
+    /// quorum would confirm every position unconditionally.
+    pub fn new(votes: usize) -> Result<Self> {
+        let q = QuorumConfig { votes };
+        q.validate()?;
+        Ok(q)
+    }
+
+    /// The canonical Byzantine quorum: with `f` liars among
+    /// `n >= 2f + 1` robots, `f + 1` matching claims guarantee at least
+    /// one honest backer, and the `f + 1` honest robots that genuinely
+    /// visit the target always suffice to confirm it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameters`] when `n < 2f + 1`.
+    pub fn byzantine(n: usize, f: usize) -> Result<Self> {
+        if n < 2 * f + 1 {
+            return Err(Error::invalid_params(
+                n,
+                f,
+                format!("the Byzantine quorum regime needs n >= 2f + 1, got n = {n}, f = {f}"),
+            ));
+        }
+        QuorumConfig::new(f + 1)
+    }
+
+    /// Validates the configuration (deserialized values included).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Domain`] when `votes` is zero.
+    pub fn validate(&self) -> Result<()> {
+        if self.votes == 0 {
+            return Err(Error::domain("a claim quorum needs at least one vote"));
+        }
+        Ok(())
     }
 }
 
@@ -63,7 +131,14 @@ struct SimRobot {
     turns: Vec<(f64, f64)>,
     /// Effective visits to the target, in time order.
     visits: Vec<ScheduledVisit>,
+    /// False claims `(t, x)` this robot asserts (Byzantine only).
+    lies: Vec<(f64, f64)>,
 }
+
+/// Seed salt separating Byzantine lie coins from sensor-miss coins: a
+/// robot that is re-planned from `Intermittent` to `Byzantine` under
+/// the same seed must not reuse the same coin stream.
+const BYZANTINE_STREAM: u64 = 0x42D9_C339_7F6A_1B2D;
 
 /// Deterministic coin in `[0, 1)` for intermittent-sensor decisions,
 /// keyed by `(seed, robot, visit index)` so identical runs replay
@@ -87,6 +162,11 @@ pub struct Simulation {
     target: Target,
     config: SimConfig,
     horizon: f64,
+    quorum: Option<QuorumConfig>,
+    /// Whether the outcome carries a claim log: true when a quorum is
+    /// configured or the plan contains Byzantine robots; false keeps
+    /// legacy runs bit-for-bit identical to earlier trace versions.
+    log_claims: bool,
 }
 
 impl Simulation {
@@ -139,6 +219,29 @@ impl Simulation {
         seed: u64,
         config: SimConfig,
     ) -> Result<Self> {
+        Simulation::with_quorum(trajectories, target, plan, seed, config, None)
+    }
+
+    /// Builds a simulation with the claim-quorum layer engaged: the
+    /// search confirms a position only when `quorum` distinct robots
+    /// have claimed it. Pass `None` to fall back to the paper's
+    /// first-report rule (equivalent to [`Simulation::with_faults`]).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Simulation::with_faults`] rejects, plus
+    /// [`Error::Domain`] for a zero-vote quorum.
+    pub fn with_quorum(
+        trajectories: Vec<PiecewiseTrajectory>,
+        target: Target,
+        plan: &FaultPlan,
+        seed: u64,
+        config: SimConfig,
+        quorum: Option<QuorumConfig>,
+    ) -> Result<Self> {
+        if let Some(q) = quorum {
+            q.validate()?;
+        }
         if trajectories.is_empty() {
             return Err(Error::invalid_params(0, 0, "simulation needs at least one robot"));
         }
@@ -172,6 +275,7 @@ impl Simulation {
             )));
         }
         let x = target.position();
+        let log_claims = quorum.is_some() || plan.byzantine_count() > 0;
         let robots = trajectories
             .into_iter()
             .enumerate()
@@ -179,12 +283,30 @@ impl Simulation {
                 let id = RobotId(i);
                 let kind = plan.kind(id);
                 let scale = time_scale(kind);
-                let turns = traj
-                    .turning_points()
-                    .into_iter()
+                let turning_points = traj.turning_points();
+                let turns: Vec<(f64, f64)> = turning_points
+                    .iter()
                     .map(|p| (p.t * scale, p.x))
                     .filter(|&(t, _)| t <= horizon)
                     .collect();
+                // A Byzantine robot moves honestly but lies: at each of
+                // its waypoints (turning points plus the trajectory's
+                // endpoints, so even a straight path offers lie
+                // opportunities) an independent seeded coin — on its
+                // own stream — decides whether it asserts the point's
+                // position as a false detection.
+                let lies = match kind {
+                    FaultKind::Byzantine { lie_rate } => traj
+                        .waypoints()
+                        .iter()
+                        .enumerate()
+                        .filter(|&(k, p)| {
+                            p.t <= horizon && fault_coin(seed ^ BYZANTINE_STREAM, i, k) < lie_rate
+                        })
+                        .map(|(_, p)| (p.t, p.x))
+                        .collect(),
+                    _ => Vec::new(),
+                };
                 let visits = traj
                     .visits(x)
                     .into_iter()
@@ -193,9 +315,12 @@ impl Simulation {
                     .filter(|&(_, t)| t <= horizon)
                     .map(|(k, t)| {
                         let report = match kind {
-                            FaultKind::Sensor => None,
+                            FaultKind::Sensor | FaultKind::Byzantine { .. } => None,
                             FaultKind::Intermittent { miss_probability } => {
                                 (fault_coin(seed, i, k) >= miss_probability).then_some(t)
+                            }
+                            FaultKind::PFaulty { detect_probability } => {
+                                (fault_coin(seed, i, k) < detect_probability).then_some(t)
                             }
                             FaultKind::Delayed { latency } => {
                                 let arrival = t + latency;
@@ -206,10 +331,10 @@ impl Simulation {
                         ScheduledVisit { time: t, report }
                     })
                     .collect();
-                SimRobot { id, turns, visits }
+                SimRobot { id, turns, visits, lies }
             })
             .collect();
-        Ok(Simulation { robots, target, config, horizon })
+        Ok(Simulation { robots, target, config, horizon, quorum, log_claims })
     }
 
     /// Number of robots in the simulation.
@@ -251,13 +376,39 @@ impl Simulation {
                     });
                 }
             }
+            for &(t, x) in &robot.lies {
+                queue
+                    .push(Event { time: t, kind: EventKind::ClaimAsserted { robot: robot.id, x } });
+            }
         }
         queue.push(Event { time: self.horizon, kind: EventKind::HorizonReached });
 
+        let target_position = self.target.position();
         let mut trace: Vec<Event> = Vec::new();
         let mut visits: Vec<Visit> = Vec::new();
         let mut seen: HashSet<RobotId> = HashSet::new();
         let mut detection: Option<Detection> = None;
+        let mut claims: Vec<Claim> = Vec::new();
+        // Distinct claimants per claimed position (keyed by the f64's
+        // bits: claims vote for a position only on exact agreement).
+        let mut ballots: BTreeMap<u64, BTreeSet<usize>> = BTreeMap::new();
+        let mut confirmed: Option<f64> = None;
+
+        // Registers a claim, tallies it, and reports whether it
+        // completes the quorum at its position.
+        let cast_claim = |robot: RobotId,
+                          time: f64,
+                          position: f64,
+                          claims: &mut Vec<Claim>,
+                          ballots: &mut BTreeMap<u64, BTreeSet<usize>>|
+         -> bool {
+            let backers = ballots.entry(position.to_bits()).or_default();
+            if !backers.insert(robot.0) {
+                return false; // repeat claims add no voting weight
+            }
+            claims.push(Claim { robot, time, position, truthful: position == target_position });
+            self.quorum.is_some_and(|q| backers.len() >= q.votes)
+        };
 
         'events: while let Some(event) = queue.pop() {
             if self.config.record_trace {
@@ -275,8 +426,44 @@ impl Simulation {
                     visits.push(Visit { robot, time: event.time, reliable });
                 }
                 EventKind::Registered { robot } => {
-                    if detection.is_none() {
+                    // An honest report claims the true target position.
+                    let completes_quorum = self.log_claims
+                        && cast_claim(
+                            robot,
+                            event.time,
+                            target_position,
+                            &mut claims,
+                            &mut ballots,
+                        );
+                    let detects = match self.quorum {
+                        // Quorum engaged: a report only counts through
+                        // its claim.
+                        Some(_) => completes_quorum,
+                        // Legacy rule: the first report is the detection.
+                        None => true,
+                    };
+                    if detects && detection.is_none() {
                         detection = Some(Detection { robot, time: event.time });
+                        if self.quorum.is_some() {
+                            confirmed = Some(target_position);
+                        }
+                        if self.config.record_trace {
+                            trace.push(Event {
+                                time: event.time,
+                                kind: EventKind::Detected { robot },
+                            });
+                        }
+                        if self.config.stop_at_detection {
+                            break 'events;
+                        }
+                    }
+                }
+                EventKind::ClaimAsserted { robot, x } => {
+                    let completes_quorum =
+                        cast_claim(robot, event.time, x, &mut claims, &mut ballots);
+                    if completes_quorum && detection.is_none() {
+                        detection = Some(Detection { robot, time: event.time });
+                        confirmed = Some(x);
                         if self.config.record_trace {
                             trace.push(Event {
                                 time: event.time,
@@ -305,6 +492,8 @@ impl Simulation {
             visits,
             horizon: self.horizon,
             trace: self.config.record_trace.then_some(trace),
+            claims,
+            confirmed_position: confirmed,
         }
     }
 }
@@ -553,6 +742,202 @@ mod tests {
             faulted(vec![straight(9.0)], 3.0, vec![FaultKind::SpeedDegraded { factor: 1.0 }], 0);
         let b = faulted(vec![straight(9.0)], 3.0, vec![FaultKind::Reliable], 0);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pfaulty_endpoints_collapse_bitwise() {
+        // p = 1 is Reliable and p = 0 is Sensor, bit for bit — the
+        // degenerate-equivalence contract the conformance oracle pins.
+        for seed in [0, 7, 42] {
+            let trajs = || vec![straight(9.0), straight(-9.0)];
+            let certain = faulted(
+                trajs(),
+                3.0,
+                vec![FaultKind::PFaulty { detect_probability: 1.0 }; 2],
+                seed,
+            );
+            let reliable = faulted(trajs(), 3.0, vec![FaultKind::Reliable; 2], seed);
+            assert_eq!(certain, reliable);
+
+            let never = faulted(
+                trajs(),
+                3.0,
+                vec![FaultKind::PFaulty { detect_probability: 0.0 }; 2],
+                seed,
+            );
+            let sensor = faulted(trajs(), 3.0, vec![FaultKind::Sensor; 2], seed);
+            assert_eq!(never, sensor);
+        }
+    }
+
+    #[test]
+    fn intermittent_endpoints_collapse_bitwise() {
+        for seed in [0, 7, 42] {
+            let trajs = || vec![straight(9.0), straight(-9.0)];
+            let never = faulted(
+                trajs(),
+                3.0,
+                vec![FaultKind::Intermittent { miss_probability: 1.0 }; 2],
+                seed,
+            );
+            let sensor = faulted(trajs(), 3.0, vec![FaultKind::Sensor; 2], seed);
+            assert_eq!(never, sensor);
+
+            let always = faulted(
+                trajs(),
+                3.0,
+                vec![FaultKind::Intermittent { miss_probability: 0.0 }; 2],
+                seed,
+            );
+            let reliable = faulted(trajs(), 3.0, vec![FaultKind::Reliable; 2], seed);
+            assert_eq!(always, reliable);
+        }
+    }
+
+    #[test]
+    fn pfaulty_is_deterministic_in_the_seed() {
+        let kinds = vec![FaultKind::PFaulty { detect_probability: 0.5 }; 3];
+        let run = |seed| {
+            faulted(vec![straight(9.0), straight(9.0), straight(9.0)], 3.0, kinds.clone(), seed)
+        };
+        assert_eq!(run(5), run(5));
+        assert!((0..100).any(|s| run(s) != run(5)));
+    }
+
+    #[test]
+    fn byzantine_robot_never_detects_honestly() {
+        // Without a quorum, Byzantine lies are logged but inert: a lone
+        // liar cannot end the run.
+        let outcome =
+            faulted(vec![straight(9.0)], 3.0, vec![FaultKind::Byzantine { lie_rate: 1.0 }], 3);
+        assert!(!outcome.detected());
+        assert!(!outcome.visits[0].reliable);
+        assert!(!outcome.claims.is_empty(), "lies are logged as claims");
+        assert!(outcome.claims.iter().all(|c| !c.truthful || c.position == 3.0));
+        assert!(outcome.confirmed_position.is_none());
+    }
+
+    fn quorum_run(
+        trajectories: Vec<PiecewiseTrajectory>,
+        target: f64,
+        kinds: Vec<FaultKind>,
+        seed: u64,
+        votes: usize,
+    ) -> SearchOutcome {
+        let plan = FaultPlan::new(kinds).unwrap();
+        Simulation::with_quorum(
+            trajectories,
+            Target::new(target).unwrap(),
+            &plan,
+            seed,
+            SimConfig::default(),
+            Some(QuorumConfig::new(votes).unwrap()),
+        )
+        .unwrap()
+        .run()
+    }
+
+    #[test]
+    fn quorum_waits_for_enough_honest_claims() {
+        // Three reliable robots reach x = 3 at t = 3, 5 and 7; a
+        // 2-vote quorum confirms at the second claim.
+        let slow = TrajectoryBuilder::from_origin().sweep_to(-1.0).sweep_to(9.0).finish().unwrap();
+        let slower =
+            TrajectoryBuilder::from_origin().sweep_to(-2.0).sweep_to(9.0).finish().unwrap();
+        let outcome =
+            quorum_run(vec![straight(9.0), slow, slower], 3.0, vec![FaultKind::Reliable; 3], 0, 2);
+        let d = outcome.detection.unwrap();
+        assert_eq!(d.time, 5.0);
+        assert_eq!(d.robot, RobotId(1));
+        assert_eq!(outcome.confirmed_position, Some(3.0));
+        assert_eq!(outcome.claims.len(), 2);
+        assert!(outcome.claims.iter().all(|c| c.truthful));
+    }
+
+    #[test]
+    fn lone_liar_cannot_reach_a_two_vote_quorum() {
+        // The Byzantine robot lies at every turning point but the
+        // 2-vote quorum never confirms any of its positions; the honest
+        // robots confirm the true target.
+        let liar = TrajectoryBuilder::from_origin().sweep_to(-4.0).sweep_to(9.0).finish().unwrap();
+        let outcome = quorum_run(
+            vec![straight(9.0), straight(9.0), liar],
+            3.0,
+            vec![FaultKind::Reliable, FaultKind::Reliable, FaultKind::Byzantine { lie_rate: 1.0 }],
+            1,
+            2,
+        );
+        let d = outcome.detection.unwrap();
+        assert_eq!(d.time, 3.0, "both honest robots claim x = 3 at t = 3");
+        assert_eq!(outcome.confirmed_position, Some(3.0));
+        // The liar's claims are on the log, marked untruthful.
+        assert!(outcome.claims.iter().any(|c| !c.truthful));
+    }
+
+    #[test]
+    fn unreachable_quorum_exhausts_the_run() {
+        // A 2-vote quorum with a single robot can never confirm.
+        let outcome = quorum_run(vec![straight(9.0)], 3.0, vec![FaultKind::Reliable], 0, 2);
+        assert!(!outcome.detected());
+        assert_eq!(outcome.claims.len(), 1);
+        assert!(outcome.confirmed_position.is_none());
+    }
+
+    #[test]
+    fn repeat_claims_add_no_voting_weight() {
+        // One robot revisits the target three times; its repeated
+        // reports must not satisfy a 2-vote quorum on their own.
+        let weave = TrajectoryBuilder::from_origin()
+            .sweep_to(2.0)
+            .sweep_to(0.5)
+            .sweep_to(3.0)
+            .finish()
+            .unwrap();
+        let cfg = SimConfig { record_trace: false, stop_at_detection: false };
+        let plan = FaultPlan::new(vec![FaultKind::Reliable]).unwrap();
+        let outcome = Simulation::with_quorum(
+            vec![weave],
+            Target::new(1.0).unwrap(),
+            &plan,
+            0,
+            cfg,
+            Some(QuorumConfig::new(2).unwrap()),
+        )
+        .unwrap()
+        .run();
+        assert!(!outcome.detected());
+        assert_eq!(outcome.claims.len(), 1, "repeat claims are deduplicated");
+    }
+
+    #[test]
+    fn byzantine_lies_are_deterministic_in_the_seed() {
+        let kinds = vec![FaultKind::Byzantine { lie_rate: 0.5 }];
+        let zigzag = || {
+            TrajectoryBuilder::from_origin()
+                .sweep_to(2.0)
+                .sweep_to(-4.0)
+                .sweep_to(8.0)
+                .finish()
+                .unwrap()
+        };
+        let run = |seed| faulted(vec![zigzag()], 3.0, kinds.clone(), seed);
+        assert_eq!(run(5), run(5));
+        assert!((0..100).any(|s| run(s).claims != run(5).claims));
+    }
+
+    #[test]
+    fn quorum_config_validates() {
+        assert!(QuorumConfig::new(0).is_err());
+        assert_eq!(QuorumConfig::new(2).unwrap().votes, 2);
+        assert_eq!(QuorumConfig::byzantine(5, 2).unwrap().votes, 3);
+        assert!(QuorumConfig::byzantine(4, 2).is_err(), "n = 4 < 2f + 1 = 5");
+    }
+
+    #[test]
+    fn legacy_runs_carry_no_claims() {
+        let outcome = sim(vec![straight(9.0)], 3.0, &[], SimConfig::default());
+        assert!(outcome.claims.is_empty());
+        assert!(outcome.confirmed_position.is_none());
     }
 
     #[test]

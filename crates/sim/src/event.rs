@@ -44,6 +44,16 @@ pub enum EventKind {
         /// The detecting robot.
         robot: RobotId,
     },
+    /// A Byzantine robot asserted a (possibly false) detection claim at
+    /// position `x`. Claims feed the quorum layer
+    /// ([`crate::engine::QuorumConfig`]); a lone claim never terminates
+    /// the search.
+    ClaimAsserted {
+        /// The claiming robot.
+        robot: RobotId,
+        /// The claimed target position.
+        x: f64,
+    },
     /// The simulation horizon was reached without detection.
     HorizonReached,
 }

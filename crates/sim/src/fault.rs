@@ -190,6 +190,29 @@ pub enum FaultKind {
         /// Speed factor in `(0, 1]`.
         factor: f64,
     },
+    /// A Byzantine robot: it moves exactly like a healthy robot but its
+    /// sensor channel is adversarial. True visits are never honestly
+    /// reported, and the robot asserts *false* detection claims at its
+    /// turning points, each independently with probability `lie_rate`
+    /// (decided by a deterministic per-(seed, robot, turn) coin, on a
+    /// separate stream from the intermittent-sensor coins, so runs stay
+    /// replayable). Lone lies are harmless under the claim-quorum
+    /// layer — see [`crate::engine::QuorumConfig`].
+    Byzantine {
+        /// Probability in `[0, 1]` of asserting a false claim at each
+        /// turning point.
+        lie_rate: f64,
+    },
+    /// A probabilistically faulty sensor: each physical visit detects
+    /// the target independently with probability `detect_probability`,
+    /// via the same deterministic per-(seed, robot, visit) coins as
+    /// [`FaultKind::Intermittent`]. `detect_probability = 1` collapses
+    /// bitwise to [`FaultKind::Reliable`] and `0` to
+    /// [`FaultKind::Sensor`].
+    PFaulty {
+        /// Per-visit detection probability in `[0, 1]`.
+        detect_probability: f64,
+    },
 }
 
 impl FaultKind {
@@ -229,6 +252,24 @@ impl FaultKind {
                 }
                 Ok(())
             }
+            FaultKind::Byzantine { lie_rate } => {
+                Error::ensure_finite("lie rate", lie_rate)?;
+                if !(0.0..=1.0).contains(&lie_rate) {
+                    return Err(Error::domain(format!(
+                        "lie rate must be in [0, 1], got {lie_rate}"
+                    )));
+                }
+                Ok(())
+            }
+            FaultKind::PFaulty { detect_probability } => {
+                Error::ensure_finite("detection probability", detect_probability)?;
+                if !(0.0..=1.0).contains(&detect_probability) {
+                    return Err(Error::domain(format!(
+                        "detection probability must be in [0, 1], got {detect_probability}"
+                    )));
+                }
+                Ok(())
+            }
         }
     }
 
@@ -247,6 +288,8 @@ impl FaultKind {
             FaultKind::Intermittent { .. } => "intermittent",
             FaultKind::Delayed { .. } => "delayed",
             FaultKind::SpeedDegraded { .. } => "speed-degraded",
+            FaultKind::Byzantine { .. } => "byzantine",
+            FaultKind::PFaulty { .. } => "p-faulty",
         }
     }
 }
@@ -322,6 +365,13 @@ impl FaultPlan {
     #[must_use]
     pub fn faulty_indices(&self) -> Vec<usize> {
         self.kinds.iter().enumerate().filter_map(|(i, k)| k.is_faulty().then_some(i)).collect()
+    }
+
+    /// Number of Byzantine robots in the plan — the `f` of the
+    /// `n >= 2f + 1` quorum regime.
+    #[must_use]
+    pub fn byzantine_count(&self) -> usize {
+        self.kinds.iter().filter(|k| matches!(k, FaultKind::Byzantine { .. })).count()
     }
 
     /// Checks that the plan stays within a fault budget of `f`.
@@ -537,6 +587,29 @@ mod tests {
         assert!(FaultKind::SpeedDegraded { factor: 1.0 }.validate().is_ok());
         assert!(FaultKind::SpeedDegraded { factor: 0.0 }.validate().is_err());
         assert!(FaultKind::SpeedDegraded { factor: 2.0 }.validate().is_err());
+        assert!(FaultKind::Byzantine { lie_rate: 0.0 }.validate().is_ok());
+        assert!(FaultKind::Byzantine { lie_rate: 1.0 }.validate().is_ok());
+        assert!(FaultKind::Byzantine { lie_rate: -0.1 }.validate().is_err());
+        assert!(FaultKind::Byzantine { lie_rate: 1.1 }.validate().is_err());
+        assert!(FaultKind::Byzantine { lie_rate: f64::NAN }.validate().is_err());
+        assert!(FaultKind::PFaulty { detect_probability: 0.0 }.validate().is_ok());
+        assert!(FaultKind::PFaulty { detect_probability: 1.0 }.validate().is_ok());
+        assert!(FaultKind::PFaulty { detect_probability: 1.5 }.validate().is_err());
+        assert!(FaultKind::PFaulty { detect_probability: f64::INFINITY }.validate().is_err());
+    }
+
+    #[test]
+    fn byzantine_count_tallies_only_byzantine_kinds() {
+        let plan = FaultPlan::new(vec![
+            FaultKind::Byzantine { lie_rate: 0.5 },
+            FaultKind::Sensor,
+            FaultKind::PFaulty { detect_probability: 0.5 },
+            FaultKind::Byzantine { lie_rate: 0.0 },
+            FaultKind::Reliable,
+        ])
+        .unwrap();
+        assert_eq!(plan.byzantine_count(), 2);
+        assert_eq!(plan.fault_count(), 4);
     }
 
     #[test]

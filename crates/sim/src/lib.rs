@@ -60,6 +60,7 @@ pub mod explorer;
 pub mod fault;
 pub mod montecarlo;
 pub mod outcome;
+pub mod pfaulty;
 pub mod robot;
 pub mod sampler;
 pub mod target;
@@ -67,7 +68,7 @@ pub mod trace;
 
 pub use adversary::{empirical_competitive_ratio, worst_case_mask, worst_case_outcome};
 pub use crash::{worst_case_crashes, CrashPlan};
-pub use engine::{SimConfig, Simulation};
+pub use engine::{QuorumConfig, SimConfig, Simulation};
 pub use event::{Event, EventKind};
 pub use explorer::{explore_fault_space, ExplorationReport, ExplorerConfig, MaskResult};
 pub use fault::{
@@ -78,7 +79,8 @@ pub use montecarlo::{
     run_sweep, run_sweep_ratios, run_sweep_ratios_seeded, run_sweep_seeded, MonteCarloConfig,
     RatioStats,
 };
-pub use outcome::{Detection, SearchOutcome, SearchVerdict, Visit};
+pub use outcome::{Claim, Detection, SearchOutcome, SearchVerdict, Visit};
+pub use pfaulty::{expected_outcome, monte_carlo_expected_ratio, PFaultyExpectation};
 pub use robot::{Reliability, Robot, RobotId};
 pub use sampler::{
     replay_check, sample_positions, sample_positions_random, snapshots_to_csv, Snapshot,

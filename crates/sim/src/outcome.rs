@@ -27,6 +27,26 @@ pub struct Detection {
     pub time: f64,
 }
 
+/// A timestamped detection claim, honest or Byzantine.
+///
+/// Under the claim-quorum layer every detection report becomes a claim:
+/// honest robots claim the true target position when their sensor
+/// fires, Byzantine robots claim arbitrary positions. The engine logs
+/// at most one claim per `(robot, position)` pair — repeat assertions
+/// add no voting weight.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Claim {
+    /// The claiming robot.
+    pub robot: RobotId,
+    /// When the claim was asserted.
+    pub time: f64,
+    /// The claimed target position.
+    pub position: f64,
+    /// Whether the claimed position is the true target — bookkeeping
+    /// for oracles and reports; the voting layer never reads it.
+    pub truthful: bool,
+}
+
 /// How a simulated search ended, derived from a [`SearchOutcome`].
 ///
 /// A separate enum (rather than more fields on the outcome) so callers
@@ -57,6 +77,18 @@ pub struct SearchOutcome {
     pub horizon: f64,
     /// Event trace, present when tracing was enabled.
     pub trace: Option<Vec<Event>>,
+    /// Claim log: every first claim per `(robot, position)` pair, in
+    /// time order. Populated only when the run involves Byzantine
+    /// robots or a claim quorum; empty otherwise, and defaulted on
+    /// deserialization so pre-quorum trace documents still load.
+    #[serde(default)]
+    pub claims: Vec<Claim>,
+    /// The position confirmed by the claim quorum, when one was
+    /// configured and reached. Always the detection position; recorded
+    /// separately so oracles can assert no *false* position was ever
+    /// confirmed.
+    #[serde(default)]
+    pub confirmed_position: Option<f64>,
 }
 
 impl SearchOutcome {
@@ -109,6 +141,8 @@ mod tests {
             ],
             horizon: 100.0,
             trace: None,
+            claims: vec![],
+            confirmed_position: None,
         };
         assert_eq!(outcome.ratio(), 2.5);
         assert!(outcome.detected());
@@ -123,6 +157,8 @@ mod tests {
             visits: vec![],
             horizon: 10.0,
             trace: None,
+            claims: vec![],
+            confirmed_position: None,
         };
         assert!(outcome.ratio().is_infinite());
         assert!(!outcome.detected());
@@ -136,6 +172,8 @@ mod tests {
             visits: vec![Visit { robot: RobotId(0), time: 2.0, reliable: true }],
             horizon: 10.0,
             trace: None,
+            claims: vec![],
+            confirmed_position: None,
         };
         assert_eq!(detected.verdict(), SearchVerdict::Detected);
         let exhausted = SearchOutcome { detection: None, visits: vec![], ..detected };

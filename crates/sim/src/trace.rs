@@ -23,7 +23,7 @@
 use faultline_core::{Error, PiecewiseTrajectory, Result};
 use serde::{Deserialize, Serialize};
 
-use crate::engine::{SimConfig, Simulation};
+use crate::engine::{QuorumConfig, SimConfig, Simulation};
 use crate::fault::{FaultKind, FaultPlan};
 use crate::outcome::SearchOutcome;
 use crate::robot::RobotId;
@@ -52,6 +52,11 @@ pub struct RunTrace {
     pub record_trace: bool,
     /// Whether the engine stopped at the first detection.
     pub stop_at_detection: bool,
+    /// The claim quorum the run was executed under, when the voting
+    /// layer was engaged. `None` — the paper's first-report rule —
+    /// when absent, so legacy trace documents still load.
+    #[serde(default)]
+    pub quorum: Option<QuorumConfig>,
     /// The adversarial bound `T_(f+1)(x)` the outcome was compared
     /// against when the trace captures a dominance violation.
     pub bound: Option<f64>,
@@ -74,9 +79,30 @@ impl RunTrace {
         config: SimConfig,
         bound: Option<f64>,
     ) -> Result<Self> {
+        RunTrace::record_with_quorum(reason, trajectories, target, plan, seed, config, bound, None)
+    }
+
+    /// Runs a simulation under the claim-quorum layer and records it as
+    /// a trace; `quorum = None` is [`RunTrace::record`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation construction failures.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_with_quorum(
+        reason: impl Into<String>,
+        trajectories: Vec<PiecewiseTrajectory>,
+        target: Target,
+        plan: &FaultPlan,
+        seed: u64,
+        config: SimConfig,
+        bound: Option<f64>,
+        quorum: Option<QuorumConfig>,
+    ) -> Result<Self> {
         let kinds: Vec<FaultKind> = (0..plan.len()).map(|i| plan.kind(RobotId(i))).collect();
         let outcome =
-            Simulation::with_faults(trajectories.clone(), target, plan, seed, config)?.run();
+            Simulation::with_quorum(trajectories.clone(), target, plan, seed, config, quorum)?
+                .run();
         Ok(RunTrace {
             version: TRACE_VERSION,
             reason: reason.into(),
@@ -86,6 +112,7 @@ impl RunTrace {
             seed,
             record_trace: config.record_trace,
             stop_at_detection: config.stop_at_detection,
+            quorum,
             bound,
             outcome,
         })
@@ -114,12 +141,13 @@ impl RunTrace {
         }
         let target = Target::new(self.target)?;
         let plan = FaultPlan::new(self.plan.clone())?;
-        Ok(Simulation::with_faults(
+        Ok(Simulation::with_quorum(
             self.trajectories.clone(),
             target,
             &plan,
             self.seed,
             self.config(),
+            self.quorum,
         )?
         .run())
     }
@@ -166,7 +194,7 @@ impl RunTrace {
     /// Re-records this trace with a different fault plan (all other
     /// inputs unchanged).
     fn with_plan(&self, kinds: Vec<FaultKind>) -> Result<Self> {
-        RunTrace::record(
+        RunTrace::record_with_quorum(
             self.reason.clone(),
             self.trajectories.clone(),
             Target::new(self.target)?,
@@ -174,12 +202,13 @@ impl RunTrace {
             self.seed,
             self.config(),
             self.bound,
+            self.quorum,
         )
     }
 
     /// Re-records this trace with a different target position.
     fn with_target(&self, position: f64) -> Result<Self> {
-        RunTrace::record(
+        RunTrace::record_with_quorum(
             self.reason.clone(),
             self.trajectories.clone(),
             Target::new(position)?,
@@ -187,6 +216,7 @@ impl RunTrace {
             self.seed,
             self.config(),
             self.bound,
+            self.quorum,
         )
     }
 

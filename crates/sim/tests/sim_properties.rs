@@ -2,7 +2,7 @@
 
 use faultline_core::coverage::Fleet;
 use faultline_core::{Algorithm, Params, PiecewiseTrajectory};
-use faultline_sim::engine::{SimConfig, Simulation};
+use faultline_sim::engine::{QuorumConfig, SimConfig, Simulation};
 use faultline_sim::fault::{BernoulliFaults, FaultKind, FaultMask, FaultPlan};
 use faultline_sim::target::Target;
 use faultline_sim::{
@@ -33,6 +33,8 @@ fn fault_kind() -> impl Strategy<Value = FaultKind> {
         (0.0f64..1.0).prop_map(|p| FaultKind::Intermittent { miss_probability: p }),
         (0.0f64..4.0).prop_map(|l| FaultKind::Delayed { latency: l }),
         (0.25f64..1.0).prop_map(|s| FaultKind::SpeedDegraded { factor: s }),
+        (0.0f64..1.0).prop_map(|r| FaultKind::Byzantine { lie_rate: r }),
+        (0.0f64..1.0).prop_map(|p| FaultKind::PFaulty { detect_probability: p }),
     ]
 }
 
@@ -194,6 +196,153 @@ proptest! {
         prop_assert_eq!(&parsed, &trace, "JSON round trip must be lossless");
         prop_assert_eq!(parsed.replay().unwrap(), trace.outcome.clone());
         parsed.verify().unwrap();
+    }
+
+    /// Every `FaultKind` variant's f64 parameters survive the
+    /// trace-document JSON path bit for bit.
+    #[test]
+    fn fault_kind_params_survive_json_bit_for_bit(
+        kinds in prop::collection::vec(fault_kind(), 2..5),
+        seed in any::<u64>(),
+    ) {
+        let n = kinds.len();
+        let plan = FaultPlan::new(kinds.clone()).unwrap();
+        let trajectories: Vec<PiecewiseTrajectory> = (0..n)
+            .map(|_| {
+                faultline_core::TrajectoryBuilder::from_origin()
+                    .sweep_to(9.0)
+                    .finish()
+                    .unwrap()
+            })
+            .collect();
+        let trace = RunTrace::record(
+            "serde bit survival",
+            trajectories,
+            Target::new(3.0).unwrap(),
+            &plan,
+            seed,
+            SimConfig::default(),
+            None,
+        ).unwrap();
+        let parsed = RunTrace::from_json(&trace.to_json().unwrap()).unwrap();
+        prop_assert_eq!(parsed.plan.len(), kinds.len());
+        for (parsed_kind, original) in parsed.plan.iter().zip(&kinds) {
+            match (parsed_kind, original) {
+                (FaultKind::Intermittent { miss_probability: a },
+                 FaultKind::Intermittent { miss_probability: b })
+                | (FaultKind::Delayed { latency: a }, FaultKind::Delayed { latency: b })
+                | (FaultKind::SpeedDegraded { factor: a }, FaultKind::SpeedDegraded { factor: b })
+                | (FaultKind::Byzantine { lie_rate: a }, FaultKind::Byzantine { lie_rate: b })
+                | (FaultKind::PFaulty { detect_probability: a },
+                   FaultKind::PFaulty { detect_probability: b }) => {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "f64 parameter lost bits");
+                }
+                (a, b) => prop_assert_eq!(a, b),
+            }
+        }
+    }
+
+    /// With `f` Byzantine robots among `n >= 2f + 1` and an `f + 1`
+    /// quorum, no sampled lie schedule ever confirms a position where
+    /// the target is not, and no false position ever accumulates a
+    /// quorum of claims.
+    #[test]
+    fn byzantine_quorum_never_confirms_a_false_position(
+        f in 1usize..4,
+        extra in 0usize..3,
+        lie_rate in 0.1f64..1.0,
+        seed in any::<u64>(),
+        x in 1.0f64..10.0,
+        negative in any::<bool>(),
+    ) {
+        let n = 2 * f + 1 + extra;
+        let params = Params::new(n, f).unwrap();
+        let alg = Algorithm::design(params).unwrap();
+        let trajectories = materialize(&alg, 11.0);
+        let target = Target::new(if negative { -x } else { x }).unwrap();
+        // The first f robots are the liars.
+        let kinds: Vec<FaultKind> = (0..n)
+            .map(|i| if i < f { FaultKind::Byzantine { lie_rate } } else { FaultKind::Reliable })
+            .collect();
+        let plan = FaultPlan::new(kinds).unwrap();
+        let quorum = QuorumConfig::byzantine(n, f).unwrap();
+        let outcome = Simulation::with_quorum(
+            trajectories,
+            target,
+            &plan,
+            seed,
+            SimConfig::default(),
+            Some(quorum),
+        ).unwrap().run();
+
+        if let Some(confirmed) = outcome.confirmed_position {
+            prop_assert_eq!(confirmed, target.position(), "confirmed a false position");
+        }
+        // No false position ever gathers f + 1 distinct claimants.
+        let mut by_position: std::collections::BTreeMap<u64, std::collections::BTreeSet<usize>> =
+            std::collections::BTreeMap::new();
+        for claim in &outcome.claims {
+            by_position.entry(claim.position.to_bits()).or_default().insert(claim.robot.0);
+        }
+        for (bits, claimants) in by_position {
+            if f64::from_bits(bits) != target.position() {
+                prop_assert!(
+                    claimants.len() <= f,
+                    "false position {} gathered {} claimants",
+                    f64::from_bits(bits),
+                    claimants.len()
+                );
+            }
+        }
+    }
+
+    /// The quorum terminates exactly when the target has genuinely been
+    /// visited by `f + 1` honest robots: detection time equals the
+    /// honest sub-fleet's `T_(f+1)(x)`.
+    #[test]
+    fn byzantine_quorum_terminates_on_honest_coverage(
+        f in 1usize..4,
+        lie_rate in 0.0f64..1.0,
+        seed in any::<u64>(),
+        x in 1.0f64..10.0,
+        negative in any::<bool>(),
+    ) {
+        let n = 2 * f + 1;
+        let params = Params::new(n, f).unwrap();
+        let alg = Algorithm::design(params).unwrap();
+        let trajectories = materialize(&alg, 11.0);
+        let target = Target::new(if negative { -x } else { x }).unwrap();
+        let kinds: Vec<FaultKind> = (0..n)
+            .map(|i| if i < f { FaultKind::Byzantine { lie_rate } } else { FaultKind::Reliable })
+            .collect();
+        let honest: Vec<PiecewiseTrajectory> = trajectories[f..].to_vec();
+        let honest_bound = Fleet::new(honest).unwrap().visit_time(target.position(), f + 1);
+
+        let plan = FaultPlan::new(kinds).unwrap();
+        let outcome = Simulation::with_quorum(
+            trajectories,
+            target,
+            &plan,
+            seed,
+            SimConfig::default(),
+            Some(QuorumConfig::byzantine(n, f).unwrap()),
+        ).unwrap().run();
+
+        match honest_bound {
+            Some(bound) => {
+                let d = outcome.detection.expect("honest coverage must confirm the target");
+                prop_assert!(
+                    (d.time - bound).abs() <= 1e-9 * bound.max(1.0),
+                    "quorum at {} but honest T_(f+1) = {bound}",
+                    d.time
+                );
+                prop_assert_eq!(outcome.confirmed_position, Some(target.position()));
+            }
+            None => {
+                // Liars alone can never fake the quorum.
+                prop_assert!(outcome.confirmed_position.is_none());
+            }
+        }
     }
 
     /// Searches with zero faults detect at exactly the fleet's first

@@ -33,6 +33,8 @@ fn instance(n: usize, f: usize, strategy: &str, xmax: f64, targets: Vec<f64>) ->
         targets,
         mask: Vec::new(),
         schedule: None,
+        lie_rate: None,
+        detect_probability: None,
     }
 }
 
