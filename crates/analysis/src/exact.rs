@@ -1,0 +1,503 @@
+//! Exact critical-point supremum evaluation — the grid-free engine
+//! behind [`crate::supremum`]'s hot paths.
+//!
+//! [`faultline_core::exact`] reduces a fleet's visit times over a
+//! window to per-interval affine sets. Here we turn those into the
+//! exact supremum of `K(x) = T_k(x) / |x|`: on each open interval the
+//! k-th order statistic of affines is piecewise affine with
+//! breakpoints only at pairwise crossings, and between breakpoints
+//! `K(x) = slope + intercept / x` is monotone — so the interval
+//! supremum is a max over the interval endpoints plus the crossings,
+//! each evaluated exactly. Evaluating an interval's affines *at* an
+//! endpoint yields the one-sided limit there, which dominates the
+//! pointwise value (the pointwise visit minimizes over a superset of
+//! segments), so the scan provably dominates every grid evaluation of
+//! the same fleet.
+//!
+//! The expected-cost variant applies the same candidate argument to
+//! the p-faulty closed form of [`faultline_sim::expected_outcome`]:
+//! with a fixed membership and ordering of in-horizon visit affines,
+//! the expectation is affine in `x`, so extra candidates are needed
+//! only where two visit affines cross or where one crosses the
+//! horizon.
+
+use faultline_core::coverage::{prefer_argmax, Fleet};
+use faultline_core::exact::{all_visit_cover, first_visit_cover, mirrored, Affine, WindowCover};
+use faultline_core::{Error, Result};
+
+/// Exponent of the pressure's generalized mean: high enough that only
+/// interval suprema within a fraction of a percent of the global
+/// supremum contribute.
+pub const PRESSURE_EXPONENT: i32 = 32;
+
+/// The result of an exact critical-point supremum scan over
+/// `[-xmax, -1] ∪ [1, xmax]` (plus the right-hand limits at `±xmax`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExactScan {
+    /// The supremum of the scanned ratio; infinite when any interval
+    /// is uncovered.
+    pub ratio: f64,
+    /// The position attaining the supremum (deterministic under ties:
+    /// smallest magnitude, then the positive side). For an uncovered
+    /// scan, the lower endpoint of the uncovered interval closest to
+    /// the origin.
+    pub argmax: f64,
+    /// Number of inter-critical-point intervals (both sides, window
+    /// edges included) not covered by the required visit count.
+    pub uncovered: usize,
+    /// Total number of critical points enumerated across both sides —
+    /// the exact analogue of the historical grid size.
+    pub critical_points: usize,
+    /// Power-[`PRESSURE_EXPONENT`] mean of `interval supremum /
+    /// global supremum` over the covered intervals, in `(0, 1]`;
+    /// `1.0` when the scan is uncovered or non-finite. Proportional
+    /// schedules equalize every turning-point peak, so their pressure
+    /// sits essentially at 1.
+    pub pressure: f64,
+}
+
+/// One side's scan accumulator, in positive-window coordinates.
+struct SideScan {
+    best: Option<(f64, f64)>,
+    uncovered: usize,
+    uncovered_x: Option<f64>,
+    interval_sups: Vec<f64>,
+    critical_points: usize,
+}
+
+fn merge_sides(pos: SideScan, neg: SideScan) -> ExactScan {
+    let critical_points = pos.critical_points + neg.critical_points;
+    let uncovered = pos.uncovered + neg.uncovered;
+    // Fold the mirrored side back to signed coordinates.
+    let neg_best = neg.best.map(|(r, x)| (r, -x));
+    let neg_uncovered_x = neg.uncovered_x.map(|x| -x);
+    if uncovered > 0 {
+        let argmax = match (pos.uncovered_x, neg_uncovered_x) {
+            (Some(p), Some(n)) => {
+                if prefer_argmax(p, n) {
+                    p
+                } else {
+                    n
+                }
+            }
+            (Some(p), None) => p,
+            (None, Some(n)) => n,
+            (None, None) => unreachable!("uncovered > 0 implies an uncovered interval"),
+        };
+        return ExactScan {
+            ratio: f64::INFINITY,
+            argmax,
+            uncovered,
+            critical_points,
+            pressure: 1.0,
+        };
+    }
+    let (ratio, argmax) = match (pos.best, neg_best) {
+        (Some((pr, px)), Some((nr, nx))) => {
+            if nr > pr || (nr == pr && prefer_argmax(nx, px)) {
+                (nr, nx)
+            } else {
+                (pr, px)
+            }
+        }
+        (Some(p), None) => p,
+        (None, Some(n)) => n,
+        (None, None) => (0.0, 0.0),
+    };
+    let pressure = if ratio.is_finite() && ratio > 0.0 {
+        let sups = pos.interval_sups.iter().chain(&neg.interval_sups);
+        let count = pos.interval_sups.len() + neg.interval_sups.len();
+        let mass: f64 = sups.map(|&s| (s / ratio).powi(PRESSURE_EXPONENT)).sum();
+        if count > 0 {
+            mass / count as f64
+        } else {
+            1.0
+        }
+    } else {
+        1.0
+    };
+    ExactScan { ratio, argmax, uncovered, critical_points, pressure }
+}
+
+/// Max of `value(x) / x` over the candidate positions, with the
+/// deterministic tie-break (smaller `x` wins within a side).
+fn best_over_candidates(
+    candidates: &[f64],
+    mut value_at: impl FnMut(f64) -> Option<f64>,
+) -> Option<(f64, f64)> {
+    let mut best: Option<(f64, f64)> = None;
+    for &x in candidates {
+        let v = value_at(x)?;
+        let r = v / x;
+        let replace = match best {
+            None => true,
+            Some((br, bx)) => r > br || (r == br && prefer_argmax(x, bx)),
+        };
+        if replace {
+            best = Some((r, x));
+        }
+    }
+    best
+}
+
+/// Pushes the pairwise crossings of `affines` that fall strictly
+/// inside `(lo, hi)` onto `candidates`.
+fn push_crossings(affines: &[Affine], lo: f64, hi: f64, candidates: &mut Vec<f64>) {
+    for (i, a) in affines.iter().enumerate() {
+        for b in &affines[i + 1..] {
+            if let Some(x) = a.crossing(b) {
+                if x > lo && x < hi {
+                    candidates.push(x);
+                }
+            }
+        }
+    }
+}
+
+/// Scans one side: the supremum of `T_k(x) / x` over `[1, xmax]`
+/// including the right-hand limit at `xmax` (the beyond-window
+/// interval evaluated at its lower endpoint).
+fn scan_side_worst_case(cover: &WindowCover, k: usize) -> SideScan {
+    let mut side = SideScan {
+        best: None,
+        uncovered: 0,
+        uncovered_x: None,
+        interval_sups: Vec::with_capacity(cover.intervals().len()),
+        critical_points: cover.cuts().len(),
+    };
+    let mark_uncovered = |side: &mut SideScan, x: f64| {
+        side.uncovered += 1;
+        if side.uncovered_x.is_none_or(|u| x < u) {
+            side.uncovered_x = Some(x);
+        }
+    };
+    if cover.beyond().is_none() {
+        // No trajectory reaches past the window: the right-hand limit
+        // at xmax is unprobed, so the window edge counts as uncovered.
+        let hi = cover.cuts()[cover.cuts().len() - 1];
+        mark_uncovered(&mut side, hi);
+    }
+    let mut candidates: Vec<f64> = Vec::new();
+    let mut times: Vec<f64> = Vec::new();
+    for (i, affines) in cover.intervals().iter().enumerate() {
+        let (lo, hi) = cover.interval_bounds(i);
+        if affines.len() < k {
+            mark_uncovered(&mut side, lo);
+            continue;
+        }
+        candidates.clear();
+        candidates.push(lo);
+        if !cover.is_beyond(i) {
+            // Inside the window both limits and every crossing are
+            // candidates; the beyond interval is only ever evaluated
+            // at the window edge (the right-hand limit at xmax).
+            candidates.push(hi);
+            push_crossings(affines, lo, hi, &mut candidates);
+        }
+        let best = best_over_candidates(&candidates, |x| {
+            times.clear();
+            times.extend(affines.iter().map(|a| a.eval(x)));
+            times.sort_by(f64::total_cmp);
+            Some(times[k - 1])
+        })
+        .expect("worst-case evaluation is total over covered intervals");
+        side.interval_sups.push(best.0);
+        let replace = match side.best {
+            None => true,
+            Some((br, bx)) => best.0 > br || (best.0 == br && prefer_argmax(best.1, bx)),
+        };
+        if replace {
+            side.best = Some(best);
+        }
+    }
+    side
+}
+
+/// The exact supremum of `K(x) = T_k(x) / |x|` over
+/// `[-xmax, -1] ∪ [1, xmax]`, including the right-hand limits at
+/// `±xmax` — the exact replacement for a grid scan over
+/// [`faultline_core::coverage::adversarial_targets`].
+///
+/// # Errors
+///
+/// Rejects `k == 0`, a window bound `xmax <= 1` or non-finite, and
+/// propagates enumeration failures.
+pub fn exact_supremum(fleet: &Fleet, k: usize, xmax: f64) -> Result<ExactScan> {
+    if k == 0 {
+        return Err(Error::domain("exact supremum needs a visit count k >= 1"));
+    }
+    if !(xmax > 1.0) || !xmax.is_finite() {
+        return Err(Error::domain(format!("xmax must be finite and > 1, got {xmax}")));
+    }
+    let pos = first_visit_cover(fleet.trajectories(), 1.0, xmax)?;
+    let neg = first_visit_cover(&mirrored(fleet.trajectories())?, 1.0, xmax)?;
+    Ok(merge_sides(scan_side_worst_case(&pos, k), scan_side_worst_case(&neg, k)))
+}
+
+/// Evaluates the p-faulty expected cost at position `x` from the
+/// interval's visit affines: in-horizon visits in time order carry
+/// geometric detection mass, the rest truncates at the horizon
+/// (exactly [`faultline_sim::expected_outcome`]). Returns `None` when
+/// no visit lands within the horizon — the uncovered case.
+fn expected_value_at(
+    affines: &[Affine],
+    x: f64,
+    p: f64,
+    horizon: f64,
+    times: &mut Vec<f64>,
+) -> Option<f64> {
+    times.clear();
+    times.extend(affines.iter().map(|a| a.eval(x)).filter(|&t| t <= horizon));
+    if times.is_empty() {
+        return None;
+    }
+    times.sort_by(f64::total_cmp);
+    let mut surviving = 1.0;
+    let mut expected = 0.0;
+    for &t in times.iter() {
+        expected += t * p * surviving;
+        surviving *= 1.0 - p;
+    }
+    Some(expected + horizon * surviving)
+}
+
+/// Scans one side of the expected-cost supremum: candidates are the
+/// interval endpoints, pairwise crossings, and horizon crossings.
+fn scan_side_expected(cover: &WindowCover, p: f64, horizon: f64) -> SideScan {
+    let mut side = SideScan {
+        best: None,
+        uncovered: 0,
+        uncovered_x: None,
+        interval_sups: Vec::with_capacity(cover.intervals().len()),
+        critical_points: cover.cuts().len(),
+    };
+    let mark_uncovered = |side: &mut SideScan, x: f64| {
+        side.uncovered += 1;
+        if side.uncovered_x.is_none_or(|u| x < u) {
+            side.uncovered_x = Some(x);
+        }
+    };
+    if cover.beyond().is_none() {
+        let hi = cover.cuts()[cover.cuts().len() - 1];
+        mark_uncovered(&mut side, hi);
+    }
+    let mut candidates: Vec<f64> = Vec::new();
+    let mut times: Vec<f64> = Vec::new();
+    for (i, affines) in cover.intervals().iter().enumerate() {
+        let (lo, hi) = cover.interval_bounds(i);
+        if affines.is_empty() {
+            mark_uncovered(&mut side, lo);
+            continue;
+        }
+        candidates.clear();
+        candidates.push(lo);
+        if !cover.is_beyond(i) {
+            candidates.push(hi);
+            push_crossings(affines, lo, hi, &mut candidates);
+            for a in affines {
+                if let Some(x) = a.position_of_time(horizon) {
+                    if x > lo && x < hi {
+                        candidates.push(x);
+                    }
+                }
+            }
+        }
+        match best_over_candidates(&candidates, |x| {
+            expected_value_at(affines, x, p, horizon, &mut times)
+        }) {
+            Some(best) => {
+                side.interval_sups.push(best.0);
+                let replace = match side.best {
+                    None => true,
+                    Some((br, bx)) => best.0 > br || (best.0 == br && prefer_argmax(best.1, bx)),
+                };
+                if replace {
+                    side.best = Some(best);
+                }
+            }
+            None => mark_uncovered(&mut side, lo),
+        }
+    }
+    side
+}
+
+/// The exact supremum of the p-faulty expected competitive ratio over
+/// `[-xmax, -1] ∪ [1, xmax]`, with undetected mass truncated at the
+/// fleet horizon — the grid-free counterpart of scanning
+/// [`faultline_sim::expected_outcome`] over adversarial targets.
+///
+/// Unlike the worst-case scan, uncovered intervals leave the ratio
+/// finite (the expectation truncates at the horizon); callers treat
+/// `uncovered > 0` as an incomplete measurement and deepen the fleet.
+///
+/// # Errors
+///
+/// Rejects probabilities outside `[0, 1]` and invalid windows.
+pub fn exact_expected_supremum(fleet: &Fleet, p: f64, xmax: f64) -> Result<ExactScan> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(Error::domain(format!("detection probability must be in [0, 1], got {p}")));
+    }
+    if !(xmax > 1.0) || !xmax.is_finite() {
+        return Err(Error::domain(format!("xmax must be finite and > 1, got {xmax}")));
+    }
+    let horizon = fleet.horizon();
+    let pos = all_visit_cover(fleet.trajectories(), 1.0, xmax)?;
+    let neg = all_visit_cover(&mirrored(fleet.trajectories())?, 1.0, xmax)?;
+    let merged =
+        merge_sides(scan_side_expected(&pos, p, horizon), scan_side_expected(&neg, p, horizon));
+    if merged.uncovered > 0 {
+        // Expected cost truncates at the horizon, so even an
+        // incomplete measurement reports the finite supremum over the
+        // covered intervals (0 when nothing is covered), matching the
+        // historical grid semantics.
+        let pos_scan = scan_side_expected(&pos, p, horizon);
+        let neg_scan = scan_side_expected(&neg, p, horizon);
+        let (ratio, argmax) = match (pos_scan.best, neg_scan.best.map(|(r, x)| (r, -x))) {
+            (Some((pr, px)), Some((nr, nx))) => {
+                if nr > pr || (nr == pr && prefer_argmax(nx, px)) {
+                    (nr, nx)
+                } else {
+                    (pr, px)
+                }
+            }
+            (Some(p), None) => p,
+            (None, Some(n)) => n,
+            (None, None) => (0.0, 0.0),
+        };
+        return Ok(ExactScan { ratio, argmax, ..merged });
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultline_core::plan::{Direction, RayPlan, TrajectoryPlan};
+    use faultline_core::{Algorithm, Params};
+
+    fn paper_fleet(n: usize, f: usize, xmax: f64) -> Fleet {
+        let params = Params::new(n, f).unwrap();
+        let alg = Algorithm::design(params).unwrap();
+        let horizon = alg.required_horizon(xmax * (1.0 + 1e-6)).unwrap();
+        Fleet::from_plans(&alg.plans(), horizon).unwrap()
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let fleet = paper_fleet(3, 1, 10.0);
+        assert!(exact_supremum(&fleet, 0, 10.0).is_err());
+        assert!(exact_supremum(&fleet, 2, 1.0).is_err());
+        assert!(exact_supremum(&fleet, 2, f64::NAN).is_err());
+        assert!(exact_expected_supremum(&fleet, 1.5, 10.0).is_err());
+        assert!(exact_expected_supremum(&fleet, f64::NAN, 10.0).is_err());
+        assert!(exact_expected_supremum(&fleet, 0.5, 0.5).is_err());
+    }
+
+    #[test]
+    fn exact_supremum_attains_theorem_1_exactly() {
+        // The proportional schedule equalizes every turning-point
+        // right-hand limit at the Theorem 1 ratio, and the exact
+        // engine evaluates those limits directly — agreement is at
+        // float precision, far below any grid tolerance.
+        for (n, f) in [(2usize, 1usize), (3, 1), (4, 2), (5, 2), (5, 3)] {
+            let params = Params::new(n, f).unwrap();
+            let analytic = faultline_core::ratio::cr_upper(params);
+            let fleet = paper_fleet(n, f, 25.0);
+            let scan = exact_supremum(&fleet, f + 1, 25.0).unwrap();
+            assert_eq!(scan.uncovered, 0, "(n = {n}, f = {f})");
+            assert!(
+                (scan.ratio - analytic).abs() <= 1e-9 * analytic,
+                "(n = {n}, f = {f}): exact {} vs Theorem 1 {analytic}",
+                scan.ratio
+            );
+            assert!(scan.critical_points > 4);
+            assert!(scan.pressure > 0.0 && scan.pressure <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn exact_supremum_dominates_dense_grids() {
+        let fleet = paper_fleet(3, 2, 20.0);
+        let scan = exact_supremum(&fleet, 3, 20.0).unwrap();
+        assert_eq!(scan.uncovered, 0);
+        for i in 0..2000 {
+            let x = 1.0 + 19.0 * i as f64 / 1999.0;
+            for sx in [x, -x] {
+                if let Some(r) = fleet.ratio_at(sx, 3).unwrap() {
+                    assert!(
+                        scan.ratio >= r - 1e-12 * r,
+                        "grid point {sx} beats the exact supremum: {r} > {}",
+                        scan.ratio
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_ray_fleet_measures_exactly_one() {
+        let plans: Vec<Box<dyn TrajectoryPlan>> =
+            vec![Box::new(RayPlan::new(Direction::Right)), Box::new(RayPlan::new(Direction::Left))];
+        let fleet = Fleet::from_plans(&plans, 100.0).unwrap();
+        let scan = exact_supremum(&fleet, 1, 30.0).unwrap();
+        assert_eq!(scan.ratio, 1.0);
+        assert_eq!(scan.uncovered, 0);
+        assert_eq!(scan.argmax, 1.0, "ties resolve to the positive point nearest the origin");
+        // K = 1 on every interval: the plateau has full pressure.
+        assert!((scan.pressure - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncovered_interval_is_reported_with_its_position() {
+        // One ray going right: the negative side is never covered.
+        let plans: Vec<Box<dyn TrajectoryPlan>> = vec![Box::new(RayPlan::new(Direction::Right))];
+        let fleet = Fleet::from_plans(&plans, 100.0).unwrap();
+        let scan = exact_supremum(&fleet, 1, 30.0).unwrap();
+        assert!(scan.ratio.is_infinite());
+        assert!(scan.uncovered > 0);
+        assert_eq!(scan.argmax, -1.0, "the uncovered window edge nearest the origin");
+        assert_eq!(scan.pressure, 1.0);
+    }
+
+    #[test]
+    fn truncated_window_counts_the_unprobed_edge_as_uncovered() {
+        // A fleet whose excursions stop exactly at the window edge
+        // leaves the right-hand limit at xmax unprobed.
+        let plans: Vec<Box<dyn TrajectoryPlan>> =
+            vec![Box::new(RayPlan::new(Direction::Right)), Box::new(RayPlan::new(Direction::Left))];
+        let fleet = Fleet::from_plans(&plans, 30.0).unwrap();
+        let scan = exact_supremum(&fleet, 1, 30.0).unwrap();
+        assert!(scan.ratio.is_infinite());
+        assert_eq!(scan.uncovered, 2, "both window edges unprobed");
+    }
+
+    #[test]
+    fn expected_supremum_at_p_one_matches_the_worst_case_with_f_zero() {
+        let fleet = paper_fleet(3, 1, 15.0);
+        let expected = exact_expected_supremum(&fleet, 1.0, 15.0).unwrap();
+        let worst = exact_supremum(&fleet, 1, 15.0).unwrap();
+        assert_eq!(expected.uncovered, 0);
+        assert!(
+            (expected.ratio - worst.ratio).abs() <= 1e-9 * worst.ratio,
+            "p = 1 expectation {} vs first-visit worst case {}",
+            expected.ratio,
+            worst.ratio
+        );
+    }
+
+    #[test]
+    fn expected_supremum_is_monotone_in_p() {
+        let fleet = paper_fleet(3, 1, 12.0);
+        let mut prev = f64::INFINITY;
+        for p in [0.2, 0.4, 0.6, 0.8, 1.0] {
+            let scan = exact_expected_supremum(&fleet, p, 12.0).unwrap();
+            assert_eq!(scan.uncovered, 0, "p = {p}");
+            assert!(
+                scan.ratio <= prev + 1e-9,
+                "expected supremum must not increase in p: E({p}) = {} > {prev}",
+                scan.ratio
+            );
+            prev = scan.ratio;
+        }
+    }
+}

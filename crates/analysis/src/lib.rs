@@ -30,6 +30,7 @@ pub mod ascii;
 pub mod average_case;
 pub mod bounded;
 pub mod convergence;
+pub mod exact;
 pub mod fig5;
 pub mod figures;
 pub mod group_search;
@@ -45,12 +46,15 @@ pub mod turncost;
 pub mod verification;
 
 pub use ascii::{line_chart, render_table, Series};
+pub use exact::{exact_expected_supremum, exact_supremum, ExactScan};
 pub use figures::FigureData;
 pub use report::{Comparison, ExperimentReport};
 pub use scenario::{run_document, Scenario, ScenarioResult};
 pub use supremum::{
-    measure_free_schedule_cr, measure_free_schedule_expected_cr, measure_free_schedule_profile,
-    measure_strategy_cr, measure_strategy_cr_sim, resolve_strategy, FreeScheduleProfile,
-    MeasuredCr, SupremumQuery, SupremumReport,
+    measure_free_schedule_cr, measure_free_schedule_cr_grid, measure_free_schedule_expected_cr,
+    measure_free_schedule_expected_cr_grid, measure_free_schedule_profile,
+    measure_free_schedule_profile_grid, measure_strategy_cr, measure_strategy_cr_grid,
+    measure_strategy_cr_sim, resolve_strategy, FreeScheduleProfile, MeasuredCr, SupremumQuery,
+    SupremumReport,
 };
 pub use table1::Table1Row;

@@ -1,7 +1,10 @@
-//! Empirical competitive-ratio measurement: supremum scans of `K(x)`
-//! over adversarial target grids, via the analytic coverage path and,
-//! independently, via the discrete-event simulator.
+//! Empirical competitive-ratio measurement: exact critical-point
+//! supremum scans of `K(x)` through [`crate::exact`] on the hot
+//! paths, the historical adversarial-grid scans retained as `_grid`
+//! differential baselines, and an independent discrete-event
+//! simulator path.
 
+use crate::exact::{exact_expected_supremum, exact_supremum};
 use faultline_core::coverage::{adversarial_targets, Fleet};
 use faultline_core::{json_float, Error, FreeSchedule, Params, Result};
 use faultline_strategies::{strategy_by_name, FixedBetaStrategy, Strategy};
@@ -108,9 +111,15 @@ pub struct SupremumQuery {
     #[serde(default = "default_xmax")]
     pub xmax: f64,
     /// Log-grid points per side on top of the turning-point probes
-    /// (default 64).
+    /// (default 64); only consulted when `grid` is set.
     #[serde(default = "default_grid_points")]
     pub grid_points: usize,
+    /// Route through the historical adversarial-grid scan instead of
+    /// the exact critical-point engine (default `false`). The grid is
+    /// retained as a differential-test baseline; the exact path
+    /// dominates every grid evaluation.
+    #[serde(default)]
+    pub grid: bool,
 }
 
 fn default_strategy_name() -> String {
@@ -162,7 +171,8 @@ impl SupremumQuery {
         Ok(())
     }
 
-    /// Runs the scan through [`measure_strategy_cr`].
+    /// Runs the scan through [`measure_strategy_cr`], or through the
+    /// grid baseline [`measure_strategy_cr_grid`] when `grid` is set.
     ///
     /// # Errors
     ///
@@ -171,7 +181,11 @@ impl SupremumQuery {
         self.validate()?;
         let params = Params::new(self.n, self.f)?;
         let strategy = resolve_strategy(&self.strategy, self.beta)?;
-        let measured = measure_strategy_cr(strategy.as_ref(), params, self.xmax, self.grid_points)?;
+        let measured = if self.grid {
+            measure_strategy_cr_grid(strategy.as_ref(), params, self.xmax, self.grid_points)?
+        } else {
+            measure_strategy_cr(strategy.as_ref(), params, self.xmax, self.grid_points)?
+        };
         Ok(SupremumReport { query: self.clone(), measured })
     }
 }
@@ -184,8 +198,12 @@ impl SupremumQuery {
 ///
 /// Propagates grid construction failures.
 pub fn fleet_targets(fleet: &Fleet, xmax: f64, grid_points: usize) -> Result<Vec<f64>> {
-    let turning: Vec<f64> =
+    let mut turning: Vec<f64> =
         fleet.trajectories().iter().flat_map(|t| t.turning_points()).map(|p| p.x).collect();
+    // Robots sharing a turning position (herds, mirrored pairs) would
+    // otherwise inject duplicate probes and a tie-dependent argmax.
+    turning.sort_by(f64::total_cmp);
+    turning.dedup();
     adversarial_targets(&turning, xmax, grid_points, TURNING_POINT_EPS)
 }
 
@@ -219,14 +237,50 @@ fn materialize_with_targets(
     Ok((fleet, targets))
 }
 
-/// Measures the competitive ratio of a strategy for `params` by
-/// scanning `K(x) = T_(f+1)(x)/|x|` over the adversarial grid up to
-/// `xmax`, using the analytic coverage path.
+/// Measures the competitive ratio of a strategy for `params` as the
+/// *exact* supremum of `K(x) = T_(f+1)(x)/|x|` over
+/// `[-xmax, -1] ∪ [1, xmax]` plus the right-hand limits at `±xmax` —
+/// a max over the critical points of [`crate::exact`], no grid.
+///
+/// `grid_points` is accepted for call-site compatibility with the
+/// baseline [`measure_strategy_cr_grid`] but does not influence the
+/// exact result.
 ///
 /// # Errors
 ///
 /// Propagates plan generation, materialization and scan failures.
 pub fn measure_strategy_cr(
+    strategy: &dyn Strategy,
+    params: Params,
+    xmax: f64,
+    grid_points: usize,
+) -> Result<MeasuredCr> {
+    let _ = grid_points;
+    // The window must be open past 1 so the right-hand limit at the
+    // near edge is still probed when a caller passes xmax = 1 exactly.
+    let window = if xmax > 1.0 { xmax } else { 1.0 + TURNING_POINT_EPS };
+    let plans = strategy.plans(params)?;
+    let probe = strategy.horizon_hint(params, window * (1.0 + 2.0 * TURNING_POINT_EPS));
+    let fleet = Fleet::from_plans(&plans, probe)?;
+    let scan = exact_supremum(&fleet, params.required_visits(), window)?;
+    Ok(MeasuredCr {
+        analytic: strategy.analytic_cr(params),
+        empirical: scan.ratio,
+        argmax: scan.argmax,
+        uncovered: scan.uncovered,
+    })
+}
+
+/// The historical adversarial-grid measurement behind
+/// [`measure_strategy_cr`]: scans `K(x)` over the turning-point
+/// probes, their right-hand limits and a log grid. Retained as the
+/// differential-test baseline for the exact engine — the exact
+/// supremum dominates every evaluation this scan performs.
+///
+/// # Errors
+///
+/// Propagates plan generation, materialization and scan failures.
+pub fn measure_strategy_cr_grid(
     strategy: &dyn Strategy,
     params: Params,
     xmax: f64,
@@ -243,16 +297,21 @@ pub fn measure_strategy_cr(
 }
 
 /// Measures the competitive ratio of a [`FreeSchedule`] — the inner
-/// worst-case objective of the `faultline-opt` schedule optimizer — by
-/// scanning `K(x) = T_(f+1)(x)/|x|` over the adversarial grid up to
-/// `xmax`, augmented with the mirrored `extra_targets` (typically the
-/// Theorem 2 adversary placements, so a schedule can never look better
-/// than the lower-bound game allows within the window).
+/// worst-case objective of the `faultline-opt` schedule optimizer —
+/// as the exact supremum of `K(x) = T_(f+1)(x)/|x|` over
+/// `[-xmax, -1] ∪ [1, xmax]` plus the right-hand limits at `±xmax`.
 ///
 /// The fleet horizon starts from the schedule's own hint and doubles
-/// until every grid target is confirmed (free schedules can defer
-/// coverage arbitrarily late); after eight doublings the scan is
-/// returned as-is, with `uncovered > 0` and an infinite ratio.
+/// until every inter-critical-point interval is confirmed (free
+/// schedules can defer coverage arbitrarily late); after eight
+/// doublings the scan is returned as-is, with `uncovered > 0` and an
+/// infinite ratio — callers distinguish the bailout by the surfaced
+/// `uncovered` count.
+///
+/// `grid_points` and `extra_targets` are accepted for call-site
+/// compatibility with [`measure_free_schedule_cr_grid`]; the exact
+/// supremum dominates every finite probe set inside the window, so
+/// neither can sharpen it.
 ///
 /// # Errors
 ///
@@ -269,14 +328,32 @@ pub fn measure_free_schedule_cr(
     Ok(measure_free_schedule_profile(schedule, f, xmax, grid_points, extra_targets)?.measured)
 }
 
+/// The adversarial-grid baseline behind [`measure_free_schedule_cr`]:
+/// scans the turning-point grid augmented with the mirrored
+/// `extra_targets` (typically the Theorem 2 adversary placements).
+///
+/// # Errors
+///
+/// Same contract as [`measure_free_schedule_cr`].
+pub fn measure_free_schedule_cr_grid(
+    schedule: &FreeSchedule,
+    f: usize,
+    xmax: f64,
+    grid_points: usize,
+    extra_targets: &[f64],
+) -> Result<MeasuredCr> {
+    Ok(measure_free_schedule_profile_grid(schedule, f, xmax, grid_points, extra_targets)?.measured)
+}
+
 /// A [`measure_free_schedule_cr`] measurement augmented with the
-/// *peak pressure*: the fraction of scanned targets whose ratio sits
-/// essentially at the supremum (a power-32 generalized mean of
-/// `ratio / supremum`). The paper's proportional schedules equalize
-/// every peak, which makes the hard supremum a plateau under any
-/// single-robot move; the optimizer uses the pressure as a smooth
-/// tie-breaker so it can first drain non-binding peaks and only then
-/// push the supremum itself down.
+/// *peak pressure*: the mass of inter-critical-point intervals whose
+/// supremum sits essentially at the global supremum (a power-32
+/// generalized mean of `interval supremum / supremum` — see
+/// [`crate::exact::ExactScan::pressure`]). The paper's proportional
+/// schedules equalize every peak, which makes the hard supremum a
+/// plateau under any single-robot move; the optimizer uses the
+/// pressure as a smooth tie-breaker so it can first drain non-binding
+/// peaks and only then push the supremum itself down.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FreeScheduleProfile {
     /// The hard supremum scan.
@@ -286,17 +363,61 @@ pub struct FreeScheduleProfile {
     pub pressure: f64,
 }
 
-/// Exponent of the pressure's generalized mean: high enough that only
-/// peaks within a fraction of a percent of the supremum contribute.
-const PRESSURE_EXPONENT: i32 = 32;
-
 /// Measures a free schedule's competitive ratio together with its
-/// peak pressure (see [`FreeScheduleProfile`]).
+/// peak pressure (see [`FreeScheduleProfile`]) through the exact
+/// critical-point engine.
 ///
 /// # Errors
 ///
 /// Same contract as [`measure_free_schedule_cr`].
 pub fn measure_free_schedule_profile(
+    schedule: &FreeSchedule,
+    f: usize,
+    xmax: f64,
+    grid_points: usize,
+    extra_targets: &[f64],
+) -> Result<FreeScheduleProfile> {
+    let _ = (grid_points, extra_targets);
+    if f + 1 > schedule.n() {
+        return Err(Error::invalid_params(
+            schedule.n(),
+            f,
+            "a free schedule needs n >= f + 1 robots to confirm any target",
+        ));
+    }
+    if !(xmax > 1.0) || !xmax.is_finite() {
+        return Err(Error::domain(format!("xmax must be finite and > 1, got {xmax}")));
+    }
+    let plans = schedule.plans();
+    let pad = 1.0 + 2.0 * TURNING_POINT_EPS;
+    let mut horizon = schedule.horizon_hint(xmax * pad).max(4.0 * xmax);
+    let mut attempt = 0usize;
+    loop {
+        let fleet = Fleet::from_plans(&plans, horizon)?;
+        let scan = exact_supremum(&fleet, f + 1, xmax)?;
+        if scan.uncovered == 0 || attempt >= 8 {
+            let measured = MeasuredCr {
+                analytic: None,
+                empirical: scan.ratio,
+                argmax: scan.argmax,
+                uncovered: scan.uncovered,
+            };
+            return Ok(FreeScheduleProfile { measured, pressure: scan.pressure });
+        }
+        horizon *= 2.0;
+        attempt += 1;
+    }
+}
+
+/// The adversarial-grid baseline behind
+/// [`measure_free_schedule_profile`], with the pressure taken as the
+/// power-mean over scanned targets instead of critical-point
+/// intervals.
+///
+/// # Errors
+///
+/// Same contract as [`measure_free_schedule_cr`].
+pub fn measure_free_schedule_profile_grid(
     schedule: &FreeSchedule,
     f: usize,
     xmax: f64,
@@ -341,7 +462,7 @@ pub fn measure_free_schedule_profile(
                 let mut mass = 0.0;
                 for &x in &targets {
                     if let Some(r) = fleet.ratio_at(x, f + 1)? {
-                        mass += (r / scan.ratio).powi(PRESSURE_EXPONENT);
+                        mass += (r / scan.ratio).powi(crate::exact::PRESSURE_EXPONENT);
                     }
                 }
                 mass / targets.len() as f64
@@ -357,22 +478,60 @@ pub fn measure_free_schedule_profile(
 
 /// Measures the *expected* competitive ratio of a [`FreeSchedule`]
 /// when every robot is p-faulty with the given per-visit detection
-/// probability: the supremum over the adversarial target grid of the
-/// exact closed-form expectation
-/// ([`faultline_sim::expected_outcome`]), with undetected mass
-/// truncated at the measurement horizon.
+/// probability: the exact supremum over `[-xmax, -1] ∪ [1, xmax]` of
+/// the closed-form expectation ([`faultline_sim::expected_outcome`]),
+/// with undetected mass truncated at the measurement horizon.
 ///
-/// A target is *uncovered* when no robot ever stands on it within the
-/// horizon (its detection probability is exactly zero no matter how
-/// large `p` is); the horizon doubles up to eight times until every
-/// grid target is visited at least once, mirroring
-/// [`measure_free_schedule_profile`].
+/// A position is *uncovered* when no robot ever stands on it within
+/// the horizon (its detection probability is exactly zero no matter
+/// how large `p` is); the horizon doubles up to eight times until
+/// every inter-critical-point interval is visited at least once,
+/// mirroring [`measure_free_schedule_profile`]. `grid_points` is
+/// accepted for call-site compatibility with
+/// [`measure_free_schedule_expected_cr_grid`].
 ///
 /// # Errors
 ///
 /// Rejects `xmax <= 1` and out-of-range probabilities, and propagates
 /// materialization failures.
 pub fn measure_free_schedule_expected_cr(
+    schedule: &FreeSchedule,
+    detect_probability: f64,
+    xmax: f64,
+    grid_points: usize,
+) -> Result<MeasuredCr> {
+    let _ = grid_points;
+    if !(xmax > 1.0) || !xmax.is_finite() {
+        return Err(Error::domain(format!("xmax must be finite and > 1, got {xmax}")));
+    }
+    let plans = schedule.plans();
+    let pad = 1.0 + 2.0 * TURNING_POINT_EPS;
+    let mut horizon = schedule.horizon_hint(xmax * pad).max(4.0 * xmax);
+    let mut attempt = 0usize;
+    loop {
+        let fleet = Fleet::from_plans(&plans, horizon)?;
+        let scan = exact_expected_supremum(&fleet, detect_probability, xmax)?;
+        if scan.uncovered == 0 || attempt >= 8 {
+            return Ok(MeasuredCr {
+                analytic: None,
+                empirical: scan.ratio,
+                argmax: scan.argmax,
+                uncovered: scan.uncovered,
+            });
+        }
+        horizon *= 2.0;
+        attempt += 1;
+    }
+}
+
+/// The adversarial-grid baseline behind
+/// [`measure_free_schedule_expected_cr`]: scans the closed-form
+/// expectation over the turning-point grid.
+///
+/// # Errors
+///
+/// Same contract as [`measure_free_schedule_expected_cr`].
+pub fn measure_free_schedule_expected_cr_grid(
     schedule: &FreeSchedule,
     detect_probability: f64,
     xmax: f64,
@@ -451,16 +610,13 @@ mod tests {
             let m = measure_strategy_cr(&PaperStrategy::new(), params, 40.0, 120).unwrap();
             let analytic = m.analytic.unwrap();
             assert_eq!(m.uncovered, 0, "(n = {n}, f = {f})");
+            // The supremum is attained exactly at turning-point
+            // right-hand limits, which the exact engine evaluates
+            // directly: agreement is at float precision, far below
+            // the historical grid tolerance of 1e-3.
             assert!(
-                m.empirical <= analytic + 1e-6,
-                "(n = {n}, f = {f}): empirical {} above analytic {analytic}",
-                m.empirical
-            );
-            // The supremum is essentially attained at turning-point
-            // right-hand limits within the scanned window.
-            assert!(
-                m.empirical >= analytic - 1e-3,
-                "(n = {n}, f = {f}): empirical {} far below analytic {analytic}",
+                (m.empirical - analytic).abs() <= 1e-6 * analytic,
+                "(n = {n}, f = {f}): empirical {} vs analytic {analytic}",
                 m.empirical
             );
         }
@@ -468,11 +624,16 @@ mod tests {
 
     #[test]
     fn sim_path_agrees_with_coverage_path() {
+        // The simulator scans the same discrete target grid as the
+        // grid baseline, so the comparison runs grid-vs-sim; the
+        // exact path can only exceed both, never fall below.
         let params = Params::new(3, 1).unwrap();
-        let a = measure_strategy_cr(&PaperStrategy::new(), params, 20.0, 60).unwrap();
+        let a = measure_strategy_cr_grid(&PaperStrategy::new(), params, 20.0, 60).unwrap();
         let b = measure_strategy_cr_sim(&PaperStrategy::new(), params, 20.0, 60).unwrap();
         assert!((a.empirical - b.empirical).abs() < 1e-9);
         assert_eq!(a.uncovered, b.uncovered);
+        let exact = measure_strategy_cr(&PaperStrategy::new(), params, 20.0, 60).unwrap();
+        assert!(exact.empirical >= a.empirical - 1e-12);
     }
 
     #[test]
@@ -547,6 +708,7 @@ mod tests {
             beta: None,
             xmax: 25.0,
             grid_points: 64,
+            grid: false,
         };
         assert!(base.validate().is_ok());
         assert!(SupremumQuery { n: 1, f: 3, ..base.clone() }.validate().is_err());
@@ -594,7 +756,13 @@ mod tests {
                 "(n = {n}, f = {f}): free-schedule measurement {} above Theorem 1 {analytic}",
                 m.empirical
             );
-            assert!(m.empirical >= analytic - 1e-2, "(n = {n}, f = {f}): {}", m.empirical);
+            // Exact evaluation lands on the equalized peaks, so the
+            // historical 1e-2 grid slack tightens to float precision.
+            assert!(
+                m.empirical >= analytic - 1e-6 * analytic,
+                "(n = {n}, f = {f}): {}",
+                m.empirical
+            );
         }
     }
 
@@ -647,6 +815,51 @@ mod tests {
         let m = measure_free_schedule_cr(&free, 1, 25.0, 48, &adversary).unwrap();
         assert_eq!(m.uncovered, 0);
         assert!(m.empirical >= alpha, "measured {} below alpha(3) = {alpha}", m.empirical);
+    }
+
+    #[test]
+    fn bailed_out_measurement_surfaces_uncovered_through_json() {
+        use faultline_core::FreeRobot;
+        // A turn ratio this close to 1 expands the zigzag so slowly
+        // that the robot cannot clear the window within the horizon
+        // hint's turn cap or eight doublings, so the measurement
+        // bails out: the infinite ratio alone would be
+        // indistinguishable from a genuine divergence, and callers
+        // rely on the surfaced `uncovered` count instead.
+        let schedule =
+            FreeSchedule::new(vec![FreeRobot::new(1.0, vec![1.0, 1.0 + 1e-7], 1.0).unwrap()])
+                .unwrap();
+        let m = measure_free_schedule_cr(&schedule, 0, 2.0, 16, &[]).unwrap();
+        assert!(m.empirical.is_infinite());
+        assert!(m.uncovered > 0, "bailout must report the uncovered intervals");
+        let json = serde_json::to_string(&m).unwrap();
+        assert!(
+            json.contains(&format!("\"uncovered\": {}", m.uncovered))
+                || json.contains(&format!("\"uncovered\":{}", m.uncovered)),
+            "uncovered must survive the JSON boundary: {json}"
+        );
+        let back: MeasuredCr = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back, "the bailout measurement must roundtrip losslessly");
+    }
+
+    #[test]
+    fn proportional_seed_reports_full_pressure() {
+        use faultline_core::{ratio, ProportionalSchedule};
+        // The proportional seed equalizes every ladder peak at the
+        // Theorem 1 ratio, so the power-32 mean over critical-point
+        // intervals must sit essentially at 1 — dilution comes only
+        // from the handful of truncation cuts and the window edge.
+        let params = Params::new(3, 1).unwrap();
+        let beta = ratio::optimal_beta(params).unwrap();
+        let schedule = ProportionalSchedule::new(3, beta).unwrap();
+        let free = FreeSchedule::from_proportional(&schedule, 10).unwrap();
+        let profile = measure_free_schedule_profile(&free, 1, 25.0, 64, &[]).unwrap();
+        assert_eq!(profile.measured.uncovered, 0);
+        assert!(
+            profile.pressure > 0.5 && profile.pressure <= 1.0 + 1e-12,
+            "equalized-peak plateau must keep the pressure near 1, got {}",
+            profile.pressure
+        );
     }
 
     #[test]

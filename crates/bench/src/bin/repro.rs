@@ -9,7 +9,7 @@
 //! ```text
 //! repro [table1|fig5|figures|ablation|lower-bound|montecarlo|explore|optimize|conformance|all] [--fast] [--seed=N]
 //! repro replay <trace.json>
-//! repro bench [--quick] [--out=PATH] [--force]
+//! repro bench [--quick] [--out=PATH] [--force] [--baseline=PATH]
 //! ```
 //!
 //! `--seed=N` re-seeds the Monte-Carlo section (fault stream `N`,
@@ -46,6 +46,8 @@ mod rand_free {
         let force = args.iter().any(|a| a == "--force");
         let bench_out: Option<String> =
             args.iter().find_map(|a| a.strip_prefix("--out=")).map(str::to_owned);
+        let bench_baseline: Option<String> =
+            args.iter().find_map(|a| a.strip_prefix("--baseline=")).map(str::to_owned);
         let seed: Option<u64> = args
             .iter()
             .find_map(|a| a.strip_prefix("--seed="))
@@ -82,7 +84,7 @@ mod rand_free {
                 let path = operand.ok_or("replay needs a trace file: repro replay <trace.json>")?;
                 run_replay(path)?;
             }
-            "bench" => run_bench(quick, bench_out.as_deref(), force)?,
+            "bench" => run_bench(quick, bench_out.as_deref(), force, bench_baseline.as_deref())?,
             "all" => {
                 run_table1(out_dir, fast)?;
                 run_fig5(out_dir, fast)?;
@@ -624,6 +626,7 @@ fn run_bench(
     quick: bool,
     out: Option<&str>,
     force: bool,
+    against: Option<&str>,
 ) -> Result<(), Box<dyn std::error::Error>> {
     println!("== Perf baseline: canonical workloads + engine comparison ==");
     if quick {
@@ -664,12 +667,51 @@ fn run_bench(
             &rows
         )
     );
+    let rows: Vec<Vec<String>> = baseline
+        .paths
+        .iter()
+        .map(|p| {
+            vec![
+                p.name.clone(),
+                format!("{:.1}", p.grid_ms),
+                format!("{:.1}", p.exact_ms),
+                format!("{:.2}x", p.speedup),
+                p.detail.clone(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["supremum path", "grid ms", "exact ms", "speedup", "detail"], &rows)
+    );
     // Resolve before writing: create missing parent directories, and
     // refuse to clobber an existing baseline unless --force was given.
     let path =
         faultline_bench::resolve_out_path(out, &format!("BENCH_{}.json", baseline.date), force)?;
     fs::write(&path, serde_json::to_string_pretty(&baseline)? + "\n")?;
     println!("(baseline written to {})\n", path.display());
+    if let Some(recorded_path) = against {
+        println!("== Perf gate: vs recorded baseline {recorded_path} ==");
+        let text = fs::read_to_string(recorded_path)
+            .map_err(|e| format!("cannot read baseline `{recorded_path}`: {e}"))?;
+        let recorded: faultline_bench::BenchBaseline = serde_json::from_str(&text)
+            .map_err(|e| format!("cannot parse baseline `{recorded_path}`: {e}"))?;
+        let comparison = faultline_bench::compare_baselines(&baseline, &recorded);
+        for line in &comparison.lines {
+            println!("  {line}");
+        }
+        if !comparison.passed() {
+            return Err(format!(
+                "perf gate failed: {} entr{} regressed beyond {:.0}% \
+                 (re-record the baseline if the regression is intended)",
+                comparison.regressions.len(),
+                if comparison.regressions.len() == 1 { "y" } else { "ies" },
+                faultline_bench::REGRESSION_TOLERANCE * 100.0
+            )
+            .into());
+        }
+        println!("perf gate passed.\n");
+    }
     Ok(())
 }
 

@@ -10,7 +10,10 @@
 pub mod baseline;
 pub mod output;
 
-pub use baseline::{run_baseline, BenchBaseline, EngineComparison, HostInfo, WorkloadTiming};
+pub use baseline::{
+    compare_baselines, run_baseline, BaselineComparison, BenchBaseline, EngineComparison, HostInfo,
+    PathComparison, WorkloadTiming, MIN_GATED_WALL_MS, REGRESSION_TOLERANCE,
+};
 pub use output::resolve_out_path;
 
 /// Workspace version, re-exported for the harness banner.

@@ -1,18 +1,18 @@
 //! Satellite property tests: `core::closed_form` Theorem 1 values
 //! agree with `analysis` measured competitive ratios on every Table-1
-//! pair, within the documented grid tolerance.
+//! pair, within the documented exact tolerance.
 //!
 //! The tolerance regime is the one the `thm1-closed-form-measured`
-//! oracle states: a finite-window measurement may sit *below* the
-//! closed form by at most [`GRID_RTOL`] relatively (turning-point
-//! probes are offset by `TURNING_POINT_EPS`), and *above* it by at
-//! most [`ABS_SLACK`] absolutely (rounding only). These tests drive
-//! the exact same named oracle the randomized sweep runs, so the
-//! deterministic Table-1 anchor and the fuzzed instances can never
-//! drift apart.
+//! oracle states: the exact critical-point measurement evaluates the
+//! turning-point one-sided limits directly, so it may sit *below*
+//! the closed form by at most [`EXACT_RTOL`] relatively and *above*
+//! it by at most [`ABS_SLACK`] absolutely (rounding only). These
+//! tests drive the exact same named oracle the randomized sweep
+//! runs, so the deterministic Table-1 anchor and the fuzzed
+//! instances can never drift apart.
 
 use faultline_analysis::table1::TABLE1_PAIRS;
-use faultline_conformance::{oracle_by_name, Instance, Verdict, ABS_SLACK, GRID_RTOL};
+use faultline_conformance::{oracle_by_name, Instance, Verdict, ABS_SLACK, EXACT_RTOL};
 use proptest::prelude::*;
 
 /// A hand-built instance pointing the oracle at one `(n, f)` pair with
@@ -35,14 +35,14 @@ fn thm1_instance(n: usize, f: usize, xmax: f64, grid_points: usize) -> Instance 
 }
 
 #[test]
-fn every_table1_pair_matches_theorem_1_within_grid_tolerance() {
+fn every_table1_pair_matches_theorem_1_within_exact_tolerance() {
     let oracle = oracle_by_name("thm1-closed-form-measured").unwrap();
     for &(n, f) in TABLE1_PAIRS {
         let verdict = oracle.check(&thm1_instance(n, f, 40.0, 96), false);
         assert_eq!(
             verdict,
             Verdict::Pass,
-            "(n={n}, f={f}) vs tolerance band [thm1*(1-{GRID_RTOL}), thm1+{ABS_SLACK}]: {verdict:?}"
+            "(n={n}, f={f}) vs tolerance band [thm1*(1-{EXACT_RTOL}), thm1+{ABS_SLACK}]: {verdict:?}"
         );
     }
 }

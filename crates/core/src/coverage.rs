@@ -113,6 +113,12 @@ impl Fleet {
     /// Positions not covered by `k` robots within the horizon yield an
     /// infinite supremum, faithfully signalling incomplete coverage.
     ///
+    /// The argmax is deterministic under ties regardless of the target
+    /// order (see [`prefer_argmax`]): among equal ratios the smallest
+    /// magnitude wins, and between exact mirror images the positive
+    /// side wins. Uncovered scans report the uncovered target closest
+    /// to the origin under the same preference.
+    ///
     /// # Errors
     ///
     /// Returns [`Error::Domain`] when `targets` is empty or contains 0.
@@ -120,23 +126,34 @@ impl Fleet {
         if targets.is_empty() {
             return Err(Error::domain("supremum scan needs at least one target"));
         }
-        let mut best = SupremumScan { ratio: 0.0, argmax: targets[0], uncovered: 0 };
+        let mut best: Option<(f64, f64)> = None; // (ratio, argmax) over covered targets
+        let mut worst_uncovered: Option<f64> = None;
+        let mut uncovered = 0usize;
         for &x in targets {
             match self.ratio_at(x, k)? {
                 Some(r) => {
-                    if r > best.ratio {
-                        best.ratio = r;
-                        best.argmax = x;
+                    let replace = match best {
+                        None => true,
+                        Some((br, bx)) => r > br || (r == br && prefer_argmax(x, bx)),
+                    };
+                    if replace {
+                        best = Some((r, x));
                     }
                 }
                 None => {
-                    best.uncovered += 1;
-                    best.ratio = f64::INFINITY;
-                    best.argmax = x;
+                    uncovered += 1;
+                    if worst_uncovered.is_none_or(|u| prefer_argmax(x, u)) {
+                        worst_uncovered = Some(x);
+                    }
                 }
             }
         }
-        Ok(best)
+        Ok(if let Some(u) = worst_uncovered {
+            SupremumScan { ratio: f64::INFINITY, argmax: u, uncovered }
+        } else {
+            let (ratio, argmax) = best.expect("non-empty target list with no uncovered targets");
+            SupremumScan { ratio, argmax, uncovered: 0 }
+        })
     }
 
     /// The number of distinct robots that have visited position `x` at
@@ -293,6 +310,16 @@ pub struct TowerSample {
     pub covered_at: Option<f64>,
 }
 
+/// The deterministic argmax tie-break shared by the grid scan and the
+/// exact critical-point engine: candidate `x` is preferred over the
+/// incumbent `best` when it sits strictly closer to the origin, or at
+/// equal magnitude when it is the positive mirror image. This makes
+/// every reported argmax independent of target enumeration order.
+#[must_use]
+pub fn prefer_argmax(x: f64, best: f64) -> bool {
+    x.abs() < best.abs() || (x.abs() == best.abs() && x > best)
+}
+
 /// Builds the canonical adversarial target grid for measuring the
 /// competitive ratio of a schedule empirically: for each interleaved
 /// turning point `tau` in `[1, xmax]`, the points `tau` and
@@ -386,6 +413,47 @@ mod tests {
     #[test]
     fn supremum_requires_targets() {
         assert!(two_rays().supremum(&[], 1).is_err());
+    }
+
+    #[test]
+    fn supremum_argmax_is_deterministic_under_ties() {
+        // The two-ray fleet has K(x) = 1 everywhere: every target ties.
+        // Regardless of enumeration order the reported argmax must be
+        // the positive target closest to the origin.
+        let fleet = two_rays();
+        for targets in [[-3.0, -1.0, 1.0, 3.0], [3.0, 1.0, -1.0, -3.0], [1.0, -1.0, 3.0, -3.0]] {
+            let scan = fleet.supremum(&targets, 1).unwrap();
+            assert_eq!(scan.argmax, 1.0, "order {targets:?}");
+            assert_eq!(scan.ratio, 1.0);
+        }
+        // Duplicate probes (the historical grid-collision case) change
+        // nothing.
+        let scan = fleet.supremum(&[2.0, 2.0, -2.0, 1.0, 1.0], 1).unwrap();
+        assert_eq!(scan.argmax, 1.0);
+    }
+
+    #[test]
+    fn supremum_uncovered_argmax_is_the_closest_uncovered_target() {
+        // Only the right ray covers positive targets, so k = 2 leaves
+        // them all uncovered; the argmax must name the uncovered target
+        // closest to the origin, not the last one enumerated.
+        let fleet = two_rays();
+        for targets in [[5.0, 2.0, 7.0], [7.0, 5.0, 2.0], [2.0, 7.0, 5.0]] {
+            let scan = fleet.supremum(&targets, 2).unwrap();
+            assert!(scan.ratio.is_infinite());
+            assert_eq!(scan.uncovered, 3);
+            assert_eq!(scan.argmax, 2.0, "order {targets:?}");
+        }
+    }
+
+    #[test]
+    fn prefer_argmax_orders_by_magnitude_then_sign() {
+        assert!(prefer_argmax(1.0, 2.0));
+        assert!(prefer_argmax(1.0, -2.0));
+        assert!(prefer_argmax(1.0, -1.0), "positive mirror wins");
+        assert!(!prefer_argmax(-1.0, 1.0));
+        assert!(!prefer_argmax(2.0, 1.0));
+        assert!(!prefer_argmax(1.0, 1.0), "no self-replacement");
     }
 
     #[test]

@@ -1,0 +1,461 @@
+//! Exact critical-point enumeration over a positive target window.
+//!
+//! Lemma 3 says `K(x) = T_(f+1)(x) / |x|` is piecewise smooth with
+//! discontinuities only at turning-point images. This module makes that
+//! structure computable: project every waypoint of every materialized
+//! trajectory onto the x-axis, and between two consecutive projections
+//! ("cuts") each robot's visit times are *affine* functions of the
+//! target position — a segment's x-span has waypoint projections as
+//! endpoints, so over an open inter-cut interval the segment either
+//! covers the whole interval or misses it entirely. `T_k(x)` is then a
+//! k-th order statistic of affines, and its supremum over the interval
+//! is attained at the interval endpoints or at pairwise crossings — a
+//! finite, exact candidate set that replaces dense grid scans.
+//!
+//! The window `[lo, hi]` is one-sided (positive positions); callers
+//! handle the negative half-line by [`mirrored`] trajectories. Beyond
+//! `hi`, one extra interval `(hi, beyond)` is tracked, where `beyond`
+//! is the smallest waypoint projection strictly past `hi`: evaluating
+//! its affines *at* `hi` yields the exact right-hand limit of the visit
+//! times at the window edge — the quantity the historical grid scan
+//! approximated with `xmax * (1 + eps)` probes.
+
+use crate::error::{Error, Result};
+use crate::spacetime::SpaceTime;
+use crate::trajectory::PiecewiseTrajectory;
+
+/// A visit-time function `t(x) = slope * x + intercept`, valid for
+/// target positions `x` inside one open inter-cut interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Affine {
+    /// `dt/dx` along the covering segment; `|slope| >= 1` for moving
+    /// unit-speed-bounded segments.
+    pub slope: f64,
+    /// Visit time extrapolated to `x = 0`.
+    pub intercept: f64,
+}
+
+impl Affine {
+    /// The visit time at position `x`.
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+
+    /// The position where `self` and `other` predict the same visit
+    /// time, or `None` for parallel lines.
+    #[must_use]
+    pub fn crossing(&self, other: &Affine) -> Option<f64> {
+        let ds = self.slope - other.slope;
+        if ds == 0.0 {
+            return None;
+        }
+        Some((other.intercept - self.intercept) / ds)
+    }
+
+    /// The position where the visit time reaches `t`, or `None` for a
+    /// constant (zero-slope) function.
+    #[must_use]
+    pub fn position_of_time(&self, t: f64) -> Option<f64> {
+        if self.slope == 0.0 {
+            return None;
+        }
+        Some((t - self.intercept) / self.slope)
+    }
+
+    fn from_segment(a: SpaceTime, b: SpaceTime) -> Affine {
+        let slope = (b.t - a.t) / (b.x - a.x);
+        Affine { slope, intercept: a.t - slope * a.x }
+    }
+}
+
+/// The exact piecewise-affine structure of a fleet's visit times over
+/// a positive window `[lo, hi]`, produced by [`first_visit_cover`] or
+/// [`all_visit_cover`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowCover {
+    /// Sorted, deduplicated critical points within `[lo, hi]`,
+    /// including both window endpoints.
+    cuts: Vec<f64>,
+    /// The smallest waypoint projection strictly beyond `hi`, if any
+    /// robot's trajectory reaches past the window.
+    beyond: Option<f64>,
+    /// `intervals[i]` holds the affines valid on the open interval
+    /// `(cuts[i], cuts[i+1])`; when `beyond` is present a final entry
+    /// covers `(hi, beyond)`.
+    intervals: Vec<Vec<Affine>>,
+}
+
+impl WindowCover {
+    /// The critical points within the window, endpoints included.
+    #[must_use]
+    pub fn cuts(&self) -> &[f64] {
+        &self.cuts
+    }
+
+    /// The first waypoint projection strictly beyond the window, if
+    /// any trajectory reaches past `hi`.
+    #[must_use]
+    pub fn beyond(&self) -> Option<f64> {
+        self.beyond
+    }
+
+    /// Per-interval affine sets (see the struct docs for the layout).
+    #[must_use]
+    pub fn intervals(&self) -> &[Vec<Affine>] {
+        &self.intervals
+    }
+
+    /// Whether interval `i` is the beyond-window interval `(hi,
+    /// beyond)`, whose affines should only be evaluated at `hi` (the
+    /// right-hand limit at the window edge).
+    #[must_use]
+    pub fn is_beyond(&self, i: usize) -> bool {
+        self.beyond.is_some() && i + 1 == self.intervals.len()
+    }
+
+    /// The open bounds `(lo_i, hi_i)` of interval `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    #[must_use]
+    pub fn interval_bounds(&self, i: usize) -> (f64, f64) {
+        if self.is_beyond(i) {
+            (self.cuts[self.cuts.len() - 1], self.beyond.expect("beyond interval exists"))
+        } else {
+            (self.cuts[i], self.cuts[i + 1])
+        }
+    }
+}
+
+/// Collects the cut set and the extended interval boundary list for a
+/// window: waypoint projections inside `(lo, hi)`, the endpoints, and
+/// the first projection strictly beyond `hi`.
+fn collect_cuts(
+    trajectories: &[PiecewiseTrajectory],
+    lo: f64,
+    hi: f64,
+) -> (Vec<f64>, Option<f64>, Vec<f64>) {
+    let mut cuts = vec![lo, hi];
+    let mut beyond: Option<f64> = None;
+    for traj in trajectories {
+        for w in traj.waypoints() {
+            if w.x > lo && w.x < hi {
+                cuts.push(w.x);
+            } else if w.x > hi {
+                beyond = Some(beyond.map_or(w.x, |b| b.min(w.x)));
+            }
+        }
+    }
+    cuts.sort_by(f64::total_cmp);
+    cuts.dedup();
+    let mut boundaries = cuts.clone();
+    if let Some(b) = beyond {
+        boundaries.push(b);
+    }
+    (cuts, beyond, boundaries)
+}
+
+fn validate_window(trajectories: &[PiecewiseTrajectory], lo: f64, hi: f64) -> Result<()> {
+    if trajectories.is_empty() {
+        return Err(Error::domain("critical-point enumeration needs at least one trajectory"));
+    }
+    if !(lo > 0.0) || !(hi > lo) || !hi.is_finite() {
+        return Err(Error::domain(format!(
+            "critical-point window needs 0 < lo < hi finite, got [{lo}, {hi}]"
+        )));
+    }
+    Ok(())
+}
+
+/// Returns the interval-index range `[start, end)` fully covered by a
+/// moving segment spanning `[s_lo, s_hi]`, against the sorted boundary
+/// list. Span endpoints are waypoint projections, hence never strictly
+/// inside any interval: coverage is all-or-nothing per interval.
+fn covered_range(boundaries: &[f64], s_lo: f64, s_hi: f64) -> (usize, usize) {
+    let start = boundaries.partition_point(|&c| c < s_lo);
+    let end = boundaries.partition_point(|&c| c <= s_hi);
+    // Intervals start .. end-1 satisfy boundaries[j] >= s_lo and
+    // boundaries[j + 1] <= s_hi.
+    (start, end.saturating_sub(1))
+}
+
+/// First-unfilled lookup with path compression over the per-robot
+/// assignment pointers: `next[j]` points at the first interval index
+/// `>= j` not yet assigned a first-visit affine.
+fn find_unfilled(next: &mut [u32], j: usize) -> usize {
+    let mut root = j;
+    while next[root] as usize != root {
+        root = next[root] as usize;
+    }
+    let mut cur = j;
+    while next[cur] as usize != cur {
+        let succ = next[cur] as usize;
+        next[cur] = root as u32;
+        cur = succ;
+    }
+    root
+}
+
+/// Enumerates the critical points of a fleet over `[lo, hi]` and the
+/// *first-visit* affine of every robot on every inter-cut interval:
+/// per robot, the earliest (in time order) segment covering the
+/// interval. `T_k(x)` restricted to an interval is the k-th order
+/// statistic of its affines, so an interval with fewer than `k`
+/// affines is not `k`-covered anywhere in its interior.
+///
+/// # Errors
+///
+/// Returns [`Error::Domain`] for an empty fleet or a window violating
+/// `0 < lo < hi < inf`.
+pub fn first_visit_cover(
+    trajectories: &[PiecewiseTrajectory],
+    lo: f64,
+    hi: f64,
+) -> Result<WindowCover> {
+    validate_window(trajectories, lo, hi)?;
+    let (cuts, beyond, boundaries) = collect_cuts(trajectories, lo, hi);
+    let m = boundaries.len() - 1;
+    let mut intervals: Vec<Vec<Affine>> = vec![Vec::new(); m];
+    let mut next: Vec<u32> = Vec::with_capacity(m + 1);
+    for traj in trajectories {
+        next.clear();
+        next.extend(0..=m as u32); // identity: everything unfilled
+        for seg in traj.segments() {
+            if seg.a.x == seg.b.x {
+                continue; // stationary: never covers an open interval
+            }
+            let (s_lo, s_hi) =
+                if seg.a.x < seg.b.x { (seg.a.x, seg.b.x) } else { (seg.b.x, seg.a.x) };
+            let (start, last) = covered_range(&boundaries, s_lo, s_hi);
+            if start >= last {
+                continue;
+            }
+            let affine = Affine::from_segment(seg.a, seg.b);
+            let mut j = find_unfilled(&mut next, start);
+            while j < last {
+                intervals[j].push(affine);
+                next[j] = j as u32 + 1;
+                j = find_unfilled(&mut next, j + 1);
+            }
+        }
+    }
+    Ok(WindowCover { cuts, beyond, intervals })
+}
+
+/// Like [`first_visit_cover`], but collects *every* covering segment's
+/// affine per interval (all robots, all passes) — the visit multiset
+/// needed by expected-cost evaluation, where later revisits still
+/// carry probability mass.
+///
+/// # Errors
+///
+/// Same contract as [`first_visit_cover`].
+pub fn all_visit_cover(
+    trajectories: &[PiecewiseTrajectory],
+    lo: f64,
+    hi: f64,
+) -> Result<WindowCover> {
+    validate_window(trajectories, lo, hi)?;
+    let (cuts, beyond, boundaries) = collect_cuts(trajectories, lo, hi);
+    let m = boundaries.len() - 1;
+    let mut intervals: Vec<Vec<Affine>> = vec![Vec::new(); m];
+    for traj in trajectories {
+        for seg in traj.segments() {
+            if seg.a.x == seg.b.x {
+                continue;
+            }
+            let (s_lo, s_hi) =
+                if seg.a.x < seg.b.x { (seg.a.x, seg.b.x) } else { (seg.b.x, seg.a.x) };
+            let (start, last) = covered_range(&boundaries, s_lo, s_hi);
+            if start >= last {
+                continue;
+            }
+            let affine = Affine::from_segment(seg.a, seg.b);
+            for interval in intervals.iter_mut().take(last).skip(start) {
+                interval.push(affine);
+            }
+        }
+    }
+    Ok(WindowCover { cuts, beyond, intervals })
+}
+
+/// Reflects trajectories across the origin (`x -> -x`), so the
+/// negative half-line can be analyzed with the positive-window
+/// machinery above.
+///
+/// # Errors
+///
+/// Propagates trajectory re-validation failures (mirroring preserves
+/// every structural invariant, so this only fires on corrupt input).
+pub fn mirrored(trajectories: &[PiecewiseTrajectory]) -> Result<Vec<PiecewiseTrajectory>> {
+    trajectories
+        .iter()
+        .map(|t| {
+            PiecewiseTrajectory::new(
+                t.waypoints().iter().map(|w| SpaceTime::new(-w.x, w.t)).collect(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trajectory::TrajectoryBuilder;
+
+    fn doubling_prefix() -> PiecewiseTrajectory {
+        TrajectoryBuilder::from_origin()
+            .sweep_to(1.0)
+            .sweep_to(-2.0)
+            .sweep_to(4.0)
+            .sweep_to(-8.0)
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn affine_eval_and_crossing() {
+        let a = Affine { slope: 1.0, intercept: 6.0 };
+        let b = Affine { slope: -1.0, intercept: 14.0 };
+        assert_eq!(a.eval(2.0), 8.0);
+        assert_eq!(a.crossing(&b), Some(4.0));
+        assert_eq!(b.crossing(&a), Some(4.0));
+        assert_eq!(a.crossing(&a), None);
+        assert_eq!(b.position_of_time(9.0), Some(5.0));
+        assert_eq!(Affine { slope: 0.0, intercept: 3.0 }.position_of_time(9.0), None);
+    }
+
+    #[test]
+    fn window_rejects_bad_input() {
+        let t = doubling_prefix();
+        assert!(first_visit_cover(&[], 1.0, 6.0).is_err());
+        assert!(first_visit_cover(std::slice::from_ref(&t), 0.0, 6.0).is_err());
+        assert!(first_visit_cover(std::slice::from_ref(&t), 2.0, 2.0).is_err());
+        assert!(first_visit_cover(std::slice::from_ref(&t), 1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn doubling_cover_matches_pointwise_first_visits() {
+        let t = doubling_prefix();
+        let cover = first_visit_cover(std::slice::from_ref(&t), 1.0, 6.0).unwrap();
+        // Waypoint projections inside (1, 6): only +4.
+        assert_eq!(cover.cuts(), &[1.0, 4.0, 6.0]);
+        assert_eq!(cover.beyond(), None, "no waypoint beyond +6");
+        assert_eq!(cover.intervals().len(), 2);
+        // (1, 4): first covered by the sweep -2 -> +4, t(x) = x + 6.
+        let a = cover.intervals()[0][0];
+        assert_eq!((a.slope, a.intercept), (1.0, 6.0));
+        for x in [1.5, 2.0, 3.9] {
+            let exact = cover.intervals()[0][0].eval(x);
+            assert_eq!(Some(exact), t.first_visit(x), "x = {x}");
+        }
+        // (4, 6): the trajectory never exceeds +4, so the interval has
+        // no covering affine — exactly how incomplete coverage shows.
+        assert!(cover.intervals()[1].is_empty());
+        assert_eq!(t.first_visit(5.0), None);
+    }
+
+    #[test]
+    fn interval_endpoint_evaluation_is_the_one_sided_limit() {
+        // At the turning cut x = 1 the pointwise first visit is t = 1,
+        // while the right-hand interval's affine evaluated at 1 gives
+        // the limit from above, t = 7 (the return sweep -2 -> +4) —
+        // strictly later, which is exactly why the supremum probes
+        // interval limits instead of pointwise values at cuts.
+        let t = doubling_prefix();
+        let cover = first_visit_cover(std::slice::from_ref(&t), 1.0, 6.0).unwrap();
+        assert_eq!(t.first_visit(1.0), Some(1.0));
+        assert_eq!(cover.intervals()[0][0].eval(1.0), 7.0);
+        // At x = 4 (a turning waypoint reached on the way up) the
+        // left-hand limit coincides with the pointwise visit, t = 10.
+        assert_eq!(t.first_visit(4.0), Some(10.0));
+        assert_eq!(cover.intervals()[0][0].eval(4.0), 10.0);
+    }
+
+    #[test]
+    fn beyond_interval_tracks_the_first_projection_past_the_window() {
+        let t = doubling_prefix();
+        let cover = first_visit_cover(std::slice::from_ref(&t), 1.0, 3.0).unwrap();
+        assert_eq!(cover.cuts(), &[1.0, 3.0]);
+        assert_eq!(cover.beyond(), Some(4.0));
+        assert_eq!(cover.intervals().len(), 2);
+        assert!(cover.is_beyond(1));
+        assert!(!cover.is_beyond(0));
+        assert_eq!(cover.interval_bounds(1), (3.0, 4.0));
+        // Evaluated at the window edge: the right-hand limit of the
+        // first visit at 3 is on the sweep -2 -> +4 (t = x + 6 = 9).
+        assert_eq!(cover.intervals()[1][0].eval(3.0), 9.0);
+    }
+
+    #[test]
+    fn first_visit_cover_keeps_only_the_earliest_covering_segment() {
+        // The sweep -2 -> +4 and the sweep +4 -> -8 both cover (1, 2);
+        // first-visit keeps only the earlier one per robot.
+        let t = doubling_prefix();
+        let cover = first_visit_cover(std::slice::from_ref(&t), 1.0, 2.0).unwrap();
+        assert_eq!(cover.intervals()[0].len(), 1);
+        assert_eq!(cover.intervals()[0][0].slope, 1.0);
+    }
+
+    #[test]
+    fn all_visit_cover_collects_every_pass() {
+        let t = doubling_prefix();
+        let cover = all_visit_cover(std::slice::from_ref(&t), 1.0, 2.0).unwrap();
+        // (1, 2) is crossed by -2 -> +4 and by +4 -> -8 (and by the
+        // initial 0 -> 1 sweep? no: its span [0, 1] stops at the cut).
+        assert_eq!(cover.intervals()[0].len(), 2);
+        let times: Vec<f64> = cover.intervals()[0].iter().map(|a| a.eval(1.5)).collect();
+        assert_eq!(times, t.visits(1.5));
+    }
+
+    #[test]
+    fn multi_robot_cuts_partition_by_every_waypoint() {
+        let a = doubling_prefix();
+        let b = TrajectoryBuilder::from_origin().sweep_to(3.0).sweep_to(-5.0).finish().unwrap();
+        let cover = first_visit_cover(&[a.clone(), b.clone()], 1.0, 6.0).unwrap();
+        assert_eq!(cover.cuts(), &[1.0, 3.0, 4.0, 6.0]);
+        // On (1, 3) both robots contribute a first-visit affine.
+        assert_eq!(cover.intervals()[0].len(), 2);
+        for x in [1.5, 2.5] {
+            let mut exact: Vec<f64> = cover.intervals()[0].iter().map(|f| f.eval(x)).collect();
+            exact.sort_by(f64::total_cmp);
+            let mut pointwise = vec![a.first_visit(x).unwrap(), b.first_visit(x).unwrap()];
+            pointwise.sort_by(f64::total_cmp);
+            assert_eq!(exact, pointwise, "x = {x}");
+        }
+        // (3, 4) is reached only by the doubling robot's -2 -> +4
+        // sweep; (4, 6) is beyond every excursion and stays empty.
+        assert_eq!(cover.intervals()[1].len(), 1);
+        assert_eq!((cover.intervals()[1][0].slope, cover.intervals()[1][0].intercept), (1.0, 6.0));
+        assert!(cover.intervals()[2].is_empty());
+    }
+
+    #[test]
+    fn mirrored_trajectories_swap_sides_losslessly() {
+        let t = doubling_prefix();
+        let m = mirrored(std::slice::from_ref(&t)).unwrap();
+        assert_eq!(m.len(), 1);
+        for x in [-1.5, 2.0, -4.0] {
+            assert_eq!(m[0].first_visit(x), t.first_visit(-x), "x = {x}");
+        }
+        let back = mirrored(&m).unwrap();
+        assert_eq!(back[0], t);
+    }
+
+    #[test]
+    fn stationary_segments_never_cover_an_interval() {
+        let t = TrajectoryBuilder::from_origin()
+            .sweep_to(2.0)
+            .hold_until(10.0)
+            .sweep_to(5.0)
+            .finish()
+            .unwrap();
+        let cover = first_visit_cover(std::slice::from_ref(&t), 1.0, 4.0).unwrap();
+        assert_eq!(cover.cuts(), &[1.0, 2.0, 4.0]);
+        // (2, 4) is covered only by the final sweep, not by the hold.
+        assert_eq!(cover.intervals()[1].len(), 1);
+        assert_eq!(cover.intervals()[1][0].eval(3.0), 11.0);
+    }
+}

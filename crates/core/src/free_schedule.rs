@@ -213,8 +213,16 @@ impl TrajectoryPlan for FreePlan {
         let mut current = SpaceTime::new(r.turn_position(0), r.first_turn_time);
         waypoints.push(current);
         let mut k = 1usize;
+        // Accumulate turn times incrementally: `turn_time(k)` is O(k),
+        // so calling it per turn would make materialization quadratic
+        // in the number of turns.
+        let mut t = r.first_turn_time;
+        let mut prev_magnitude = r.turn_magnitude(0);
         loop {
-            let next = SpaceTime::new(r.turn_position(k), r.turn_time(k));
+            let magnitude = r.turn_magnitude(k);
+            t += prev_magnitude + magnitude;
+            prev_magnitude = magnitude;
+            let next = SpaceTime::new(r.turn_position(k), t);
             if next.t >= horizon {
                 // Cut the unit-speed sweep from `current` towards `next`.
                 if horizon > current.t {

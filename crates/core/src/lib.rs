@@ -63,6 +63,7 @@ pub mod closed_form;
 pub mod cone;
 pub mod coverage;
 pub mod error;
+pub mod exact;
 pub mod free_schedule;
 pub mod interval;
 pub mod json_float;

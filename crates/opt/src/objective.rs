@@ -289,6 +289,26 @@ mod tests {
     }
 
     #[test]
+    fn bailed_out_schedule_is_penalized_explicitly() {
+        use faultline_core::FreeRobot;
+        // Two robots whose zigzags never reach the window leave every
+        // interval short of the f + 1 = 2 required visits, so the
+        // measurement bails out after eight horizon doublings with
+        // `uncovered > 0` and an infinite ratio. The objective must
+        // map that surfaced bailout to the explicit PENALTY instead of
+        // letting the infinity leak into the golden-section search.
+        let params = Params::new(3, 1).unwrap();
+        let objective = Objective::new(params, 2.0, 16).unwrap();
+        let stunted = |side: f64| FreeRobot::new(side, vec![0.5, 0.5 + 5e-8], 0.5).unwrap();
+        let doubler = FreeRobot::new(1.0, vec![1.0, 2.0], 1.0).unwrap();
+        let schedule = FreeSchedule::new(vec![doubler, stunted(1.0), stunted(-1.0)]).unwrap();
+        let measured = objective.measure(&schedule).unwrap();
+        assert!(measured.empirical.is_infinite());
+        assert!(measured.uncovered > 0, "bailout must surface its uncovered intervals");
+        assert_eq!(objective.eval(&schedule), PENALTY);
+    }
+
+    #[test]
     fn expected_cr_objective_validates_and_scores_monotonically() {
         let params = Params::new(3, 1).unwrap();
         assert!(Objective::with_detect_probability(params, 10.0, 16, -0.1).is_err());

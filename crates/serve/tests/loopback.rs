@@ -9,10 +9,14 @@ use faultline_serve::client::{self, Response};
 use faultline_serve::{ServeConfig, ServerHandle};
 
 /// A supremum body slow enough (hundreds of ms even in release) to
-/// hold a worker while the test sequences saturation around it.
-const SLOW_SUPREMUM: &str = r#"{"n": 41, "f": 20, "xmax": 300.0, "grid_points": 60000}"#;
+/// hold a worker while the test sequences saturation around it. The
+/// exact critical-point engine answers any grid size instantly, so a
+/// deliberately dense scan must opt into the retained grid path.
+const SLOW_SUPREMUM: &str =
+    r#"{"n": 41, "f": 20, "xmax": 300.0, "grid_points": 60000, "grid": true}"#;
 /// Same workload, one grid point apart: a distinct cache entry.
-const SLOW_SUPREMUM_B: &str = r#"{"n": 41, "f": 20, "xmax": 300.0, "grid_points": 59999}"#;
+const SLOW_SUPREMUM_B: &str =
+    r#"{"n": 41, "f": 20, "xmax": 300.0, "grid_points": 59999, "grid": true}"#;
 
 fn spawn(config: ServeConfig) -> (ServerHandle, String) {
     let handle = ServerHandle::spawn(ServeConfig { addr: "127.0.0.1:0".to_owned(), ..config })
