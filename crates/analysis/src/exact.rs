@@ -23,7 +23,7 @@
 
 use faultline_core::coverage::{prefer_argmax, Fleet};
 use faultline_core::exact::{all_visit_cover, first_visit_cover, mirrored, Affine, WindowCover};
-use faultline_core::{Error, Result};
+use faultline_core::{Error, Interval, Result};
 
 /// Exponent of the pressure's generalized mean: high enough that only
 /// interval suprema within a fraction of a percent of the global
@@ -142,7 +142,7 @@ fn best_over_candidates(
 
 /// Pushes the pairwise crossings of `affines` that fall strictly
 /// inside `(lo, hi)` onto `candidates`.
-fn push_crossings(affines: &[Affine], lo: f64, hi: f64, candidates: &mut Vec<f64>) {
+pub fn push_crossings(affines: &[Affine], lo: f64, hi: f64, candidates: &mut Vec<f64>) {
     for (i, a) in affines.iter().enumerate() {
         for b in &affines[i + 1..] {
             if let Some(x) = a.crossing(b) {
@@ -232,6 +232,170 @@ pub fn exact_supremum(fleet: &Fleet, k: usize, xmax: f64) -> Result<ExactScan> {
     let pos = first_visit_cover(fleet.trajectories(), 1.0, xmax)?;
     let neg = first_visit_cover(&mirrored(fleet.trajectories())?, 1.0, xmax)?;
     Ok(merge_sides(scan_side_worst_case(&pos, k), scan_side_worst_case(&neg, k)))
+}
+
+/// An [`ExactScan`] paired with a certified enclosure of its
+/// supremum, produced by [`exact_supremum_enclosed`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnclosedScan {
+    /// The plain critical-point scan, bit-identical to what
+    /// [`exact_supremum`] returns for the same inputs.
+    pub scan: ExactScan,
+    /// Outward-rounded interval guaranteed to contain both the true
+    /// (real-arithmetic) supremum and the `f64` scan value.
+    pub enclosure: Interval,
+}
+
+/// The k-th order statistic of the per-affine visit-time enclosures
+/// at `x`. Order statistics are monotone under pointwise ordering, so
+/// the k-th smallest lower bound and the k-th smallest upper bound
+/// bracket both the k-th smallest `f64` evaluation (what the scan
+/// sorts) and the k-th smallest real value.
+fn kth_time_enclosure(
+    affines: &[Affine],
+    k: usize,
+    x: f64,
+    los: &mut Vec<f64>,
+    his: &mut Vec<f64>,
+) -> Result<Interval> {
+    los.clear();
+    his.clear();
+    for a in affines {
+        let t = a.enclosure_at(x)?;
+        los.push(t.lo());
+        his.push(t.hi());
+    }
+    los.sort_by(f64::total_cmp);
+    his.sort_by(f64::total_cmp);
+    Interval::new(los[k - 1], his[k - 1])
+}
+
+/// Enclosure of `T_k(x) / x` at a point candidate, mirroring the scan
+/// engine's operation order (sort times, then one division) so the
+/// result contains the engine's `f64` evaluation at the same `x`.
+fn kth_ratio_enclosure_at(
+    affines: &[Affine],
+    k: usize,
+    x: f64,
+    los: &mut Vec<f64>,
+    his: &mut Vec<f64>,
+) -> Result<Interval> {
+    kth_time_enclosure(affines, k, x, los, his)?.div(Interval::point(x)?)
+}
+
+/// Enclosure of `{ T_k(x) / x : x in xs }` over a zero-free range —
+/// the k-th order statistic of the per-affine ratio range enclosures.
+fn kth_ratio_enclosure_over(
+    affines: &[Affine],
+    k: usize,
+    xs: Interval,
+    los: &mut Vec<f64>,
+    his: &mut Vec<f64>,
+) -> Result<Interval> {
+    los.clear();
+    his.clear();
+    for a in affines {
+        let g = a.ratio_enclosure_over(xs)?;
+        los.push(g.lo());
+        his.push(g.hi());
+    }
+    los.sort_by(f64::total_cmp);
+    his.sort_by(f64::total_cmp);
+    Interval::new(los[k - 1], his[k - 1])
+}
+
+/// One side's supremum enclosure: `lo` comes only from point
+/// candidates (so it never exceeds the `f64` scan value), `hi`
+/// additionally absorbs range enclosures over certified crossing
+/// locations (so it covers the true supremum even when an `f64`
+/// crossing candidate sits an ulp away from the real breakpoint).
+fn scan_side_enclosure(cover: &WindowCover, k: usize) -> Result<(f64, f64)> {
+    let uncovered = || Error::domain("cannot enclose an uncovered side: the supremum is unbounded");
+    if cover.beyond().is_none() {
+        return Err(uncovered());
+    }
+    let mut lo_acc = f64::NEG_INFINITY;
+    let mut hi_acc = f64::NEG_INFINITY;
+    let mut points: Vec<f64> = Vec::new();
+    let mut los: Vec<f64> = Vec::new();
+    let mut his: Vec<f64> = Vec::new();
+    for (i, affines) in cover.intervals().iter().enumerate() {
+        let (lo, hi) = cover.interval_bounds(i);
+        if affines.len() < k {
+            return Err(uncovered());
+        }
+        // Point candidates mirror scan_side_worst_case exactly.
+        points.clear();
+        points.push(lo);
+        if !cover.is_beyond(i) {
+            points.push(hi);
+            push_crossings(affines, lo, hi, &mut points);
+        }
+        for &x in &points {
+            let enc = kth_ratio_enclosure_at(affines, k, x, &mut los, &mut his)?;
+            lo_acc = lo_acc.max(enc.lo());
+            hi_acc = hi_acc.max(enc.hi());
+        }
+        if cover.is_beyond(i) {
+            continue;
+        }
+        // The k-th order statistic is piecewise `s + i/x` with
+        // breakpoints only at pairwise crossings, so the interval
+        // supremum is attained at an endpoint or a true crossing.
+        // Endpoints are exact; each true crossing lies inside its
+        // certified enclosure, whose range enclosure widens `hi` only.
+        for (ai, a) in affines.iter().enumerate() {
+            for b in &affines[ai + 1..] {
+                if a.crossing(b).is_none() {
+                    continue;
+                }
+                let xs = match a.crossing_enclosure(b) {
+                    Some(xs) if xs.is_positive() => xs,
+                    // Degenerate slope-difference enclosure: the
+                    // whole interval is always a sound fallback.
+                    _ => Interval::new(lo, hi)?,
+                };
+                if !(xs.hi() > lo && xs.lo() < hi) {
+                    continue;
+                }
+                let clipped = Interval::new(xs.lo().max(lo), xs.hi().min(hi))?;
+                let range = kth_ratio_enclosure_over(affines, k, clipped, &mut los, &mut his)?;
+                hi_acc = hi_acc.max(range.hi());
+            }
+        }
+    }
+    Ok((lo_acc, hi_acc))
+}
+
+/// The [`exact_supremum`] scan paired with an outward-rounded
+/// interval `[lo, hi]` certified to contain the true supremum of
+/// `K(x) = T_k(x) / |x|` over the window — and, because every lower
+/// bound comes from a point candidate the scan itself evaluates, the
+/// `f64` scan value satisfies `lo <= scan.ratio <= hi` as well.
+///
+/// # Errors
+///
+/// Beyond [`exact_supremum`]'s validation, errors when the scan is
+/// uncovered: an unbounded supremum has no finite enclosure.
+pub fn exact_supremum_enclosed(fleet: &Fleet, k: usize, xmax: f64) -> Result<EnclosedScan> {
+    let scan = exact_supremum(fleet, k, xmax)?;
+    if scan.uncovered > 0 || !scan.ratio.is_finite() {
+        return Err(Error::domain("cannot enclose an uncovered supremum: the ratio is unbounded"));
+    }
+    let pos = first_visit_cover(fleet.trajectories(), 1.0, xmax)?;
+    let neg = first_visit_cover(&mirrored(fleet.trajectories())?, 1.0, xmax)?;
+    let (plo, phi) = scan_side_enclosure(&pos, k)?;
+    let (nlo, nhi) = scan_side_enclosure(&neg, k)?;
+    let enclosure = Interval::new(plo.max(nlo), phi.max(nhi))?;
+    if !enclosure.contains(scan.ratio) {
+        return Err(Error::numerical(format!(
+            "supremum enclosure [{}, {}] lost the scan value {}",
+            enclosure.lo(),
+            enclosure.hi(),
+            scan.ratio
+        )));
+    }
+    Ok(EnclosedScan { scan, enclosure })
 }
 
 /// Evaluates the p-faulty expected cost at position `x` from the
@@ -469,6 +633,35 @@ mod tests {
         let scan = exact_supremum(&fleet, 1, 30.0).unwrap();
         assert!(scan.ratio.is_infinite());
         assert_eq!(scan.uncovered, 2, "both window edges unprobed");
+    }
+
+    #[test]
+    fn enclosed_supremum_brackets_the_scan_tightly_on_table_1_fleets() {
+        for (n, f) in [(2usize, 1usize), (3, 1), (3, 2), (4, 2), (4, 3), (5, 2), (5, 3), (5, 4)] {
+            let fleet = paper_fleet(n, f, 25.0);
+            let plain = exact_supremum(&fleet, f + 1, 25.0).unwrap();
+            let enclosed = exact_supremum_enclosed(&fleet, f + 1, 25.0).unwrap();
+            assert_eq!(enclosed.scan, plain, "(n = {n}, f = {f}): scans must be bit-identical");
+            assert!(
+                enclosed.enclosure.contains(plain.ratio),
+                "(n = {n}, f = {f}): [{}, {}] misses {}",
+                enclosed.enclosure.lo(),
+                enclosed.enclosure.hi(),
+                plain.ratio
+            );
+            assert!(
+                enclosed.enclosure.width() <= 1e-9 * plain.ratio,
+                "(n = {n}, f = {f}): enclosure width {} is not tight",
+                enclosed.enclosure.width()
+            );
+        }
+    }
+
+    #[test]
+    fn enclosed_supremum_rejects_uncovered_scans() {
+        let plans: Vec<Box<dyn TrajectoryPlan>> = vec![Box::new(RayPlan::new(Direction::Right))];
+        let fleet = Fleet::from_plans(&plans, 100.0).unwrap();
+        assert!(exact_supremum_enclosed(&fleet, 1, 30.0).is_err());
     }
 
     #[test]

@@ -46,7 +46,9 @@ pub mod turncost;
 pub mod verification;
 
 pub use ascii::{line_chart, render_table, Series};
-pub use exact::{exact_expected_supremum, exact_supremum, ExactScan};
+pub use exact::{
+    exact_expected_supremum, exact_supremum, exact_supremum_enclosed, EnclosedScan, ExactScan,
+};
 pub use figures::FigureData;
 pub use report::{Comparison, ExperimentReport};
 pub use scenario::{run_document, Scenario, ScenarioResult};

@@ -13,10 +13,12 @@
 //! 3. **Monte-Carlo sweep** — a 10k-sample random-fault sweep of
 //!    `A(5, 2)` (1k in `--quick` mode).
 //!
-//! Two *path comparisons* time the exact critical-point supremum
-//! engine against the retained adversarial-grid baseline on the same
-//! measurements (the optimizer inner loop and the strategy supremum
-//! path); their `speedup` ratios are host-comparable and gated by
+//! Three *path comparisons* time faster engines against their retained
+//! baselines on the same measurements: the exact critical-point
+//! supremum engine vs the adversarial grid (the optimizer inner loop
+//! and the strategy supremum path), and the dominance-pruned
+//! adversary-space explorer vs its exhaustive differential baseline.
+//! Their `speedup` ratios are host-comparable and gated by
 //! [`compare_baselines`] alongside the wall-clock timings.
 //!
 //! The engine comparison runs the same skewed workload through the
@@ -452,6 +454,58 @@ fn strategy_supremum_paths(quick: bool) -> Result<PathComparison, Box<dyn std::e
     })
 }
 
+fn explore_pruning_paths(quick: bool) -> Result<PathComparison, Box<dyn std::error::Error>> {
+    use faultline_explore::{explore_pair, ExploreConfig};
+
+    // The dominance-pruned adversary-space frontier vs its exhaustive
+    // differential baseline on the largest Table-1 pairs with n <= 5;
+    // `grid_ms` records the exhaustive (unpruned) path so the speedup
+    // ratio reads the same way as the supremum comparisons.
+    let pairs: &[(usize, usize)] =
+        if quick { &[(4, 3), (5, 3)] } else { &[(4, 3), (5, 3), (5, 4)] };
+    let xmax = 25.0;
+    let reps = if quick { 3 } else { 10 };
+    let pruned_config = ExploreConfig::default();
+    let exhaustive_config = ExploreConfig { exhaustive: true, ..ExploreConfig::default() };
+    let mut pruned_err = None;
+    let mut exhaustive_err = None;
+    let (pruned_ms, exhaustive_ms) = interleaved_min_rounds(
+        || {
+            for _ in 0..reps {
+                for &(n, f) in pairs {
+                    if let Err(e) = explore_pair(n, f, xmax, &pruned_config) {
+                        pruned_err = Some(e);
+                        return;
+                    }
+                }
+            }
+        },
+        || {
+            for _ in 0..reps {
+                for &(n, f) in pairs {
+                    if let Err(e) = explore_pair(n, f, xmax, &exhaustive_config) {
+                        exhaustive_err = Some(e);
+                        return;
+                    }
+                }
+            }
+        },
+    );
+    if let Some(e) = pruned_err.or(exhaustive_err) {
+        return Err(e.into());
+    }
+    Ok(PathComparison {
+        name: "explore_pruning".to_owned(),
+        grid_ms: exhaustive_ms,
+        exact_ms: pruned_ms,
+        speedup: exhaustive_ms / pruned_ms,
+        detail: format!(
+            "{reps}x dominance-pruned vs exhaustive exploration over {} pairs (xmax {xmax})",
+            pairs.len()
+        ),
+    })
+}
+
 /// Deterministic busy work proportional to `cost`, used by the skewed
 /// CPU-bound engine comparison (shared with the criterion bench).
 #[must_use]
@@ -528,7 +582,11 @@ pub fn run_baseline(quick: bool) -> Result<BenchBaseline, Box<dyn std::error::Er
     };
     let workloads = vec![table1_scan(quick)?, mask_exploration(quick)?, montecarlo_sweep(quick)?];
     let engine = vec![compare_engines_cpu(quick), compare_engines_latency()];
-    let paths = vec![optimizer_inner_loop(quick)?, strategy_supremum_paths(quick)?];
+    let paths = vec![
+        optimizer_inner_loop(quick)?,
+        strategy_supremum_paths(quick)?,
+        explore_pruning_paths(quick)?,
+    ];
     Ok(BenchBaseline {
         version: crate::VERSION.to_owned(),
         date: utc_date(),

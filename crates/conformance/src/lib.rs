@@ -32,6 +32,6 @@ pub use counterexample::{Counterexample, COUNTEREXAMPLE_VERSION};
 pub use engine::{run, ConformanceConfig, ConformanceReport, MatrixRow, Tier, CONFORMANCE_VERSION};
 pub use instance::{GenCaps, Instance};
 pub use oracles::{
-    all_oracles, oracle_by_name, Mismatch, Oracle, Verdict, ABS_SLACK, EXACT_RTOL, EXACT_TOL,
-    FLOOR_RTOL, GRID_RTOL, INJECTED_SKEW, REL_TOL,
+    all_oracles, oracle_by_name, Mismatch, Oracle, Verdict, ABS_SLACK, ENCLOSURE_WIDTH_RTOL,
+    EXACT_RTOL, EXACT_TOL, FLOOR_RTOL, GRID_RTOL, INJECTED_SKEW, REL_TOL,
 };

@@ -27,10 +27,14 @@
 //! | `pfaulty-endpoint-collapse` | `PFaulty{1.0}` ≡ `Reliable`, `PFaulty{0.0}` ≡ `Sensor`, bitwise | exact |
 //! | `byzantine-quorum-no-false-confirm` | no coalition of `f` liars confirms a false position; quorum detection = honest `T_votes(x)` | [`REL_TOL`] |
 //! | `expected-cr-monotone-in-p` | expected detection time is non-increasing in `p`; `E(1) = T_1(x)` | [`REL_TOL`] |
+//! | `enclosure-contains-exact` | `exact_supremum_enclosed` brackets the exact supremum tightly | [`ENCLOSURE_WIDTH_RTOL`] |
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use faultline_analysis::{measure_strategy_cr, measure_strategy_cr_grid, measure_strategy_cr_sim};
+use faultline_analysis::{
+    exact_supremum, exact_supremum_enclosed, measure_strategy_cr, measure_strategy_cr_grid,
+    measure_strategy_cr_sim,
+};
 use faultline_core::closed_form::ClosedForm;
 use faultline_core::coverage::Fleet;
 use faultline_core::trajectory::PiecewiseTrajectory;
@@ -81,6 +85,12 @@ pub const FLOOR_RTOL: f64 = 1e-6;
 /// every oracle tolerance above, small enough that the perturbed run
 /// still executes normally.
 pub const INJECTED_SKEW: f64 = 0.01;
+
+/// Maximum relative width of a certified supremum enclosure: the
+/// outward rounding accumulates only a handful of ulps per operation,
+/// so `hi - lo` beyond this fraction of the supremum means the
+/// interval arithmetic degraded.
+pub const ENCLOSURE_WIDTH_RTOL: f64 = 1e-9;
 
 /// A failed check: the two sides of the violated relation, a human
 /// explanation, and (for sim-involving oracles) a replayable trace.
@@ -161,7 +171,7 @@ pub fn oracle_by_name(name: &str) -> Option<&'static Oracle> {
     ORACLES.iter().find(|o| o.name == name)
 }
 
-static ORACLES: [Oracle; 17] = [
+static ORACLES: [Oracle; 18] = [
     Oracle {
         name: "sim-analytic-detection",
         description: "worst-case simulator detection time equals coverage T_(f+1)(x)",
@@ -266,6 +276,13 @@ static ORACLES: [Oracle; 17] = [
             "expected detection time is non-increasing in p and collapses to T_1 at p = 1",
         tolerance: REL_TOL,
         check: expected_cr_monotone_in_p,
+    },
+    Oracle {
+        name: "enclosure-contains-exact",
+        description:
+            "the certified supremum enclosure brackets the exact scan value and stays tight",
+        tolerance: ENCLOSURE_WIDTH_RTOL,
+        check: enclosure_contains_exact,
     },
 ];
 
@@ -1034,6 +1051,49 @@ fn expected_cr_monotone_in_p(inst: &Instance, inject: bool) -> Result<Verdict> {
                 None,
             ));
         }
+    }
+    Ok(Verdict::Pass)
+}
+
+fn enclosure_contains_exact(inst: &Instance, inject: bool) -> Result<Verdict> {
+    let params = inst.params()?;
+    let xmax = inst.xmax.max(MEASURE_XMAX_FLOOR);
+    let (_, fleet) = fleet_for(params, xmax)?;
+    let k = params.required_visits();
+    let scan = exact_supremum(&fleet, k, xmax)?;
+    if !scan.ratio.is_finite() {
+        return Ok(Verdict::Skip(format!(
+            "window [1, {xmax}] is not fully covered ({} uncovered intervals)",
+            scan.uncovered
+        )));
+    }
+    let enclosed = exact_supremum_enclosed(&fleet, k, xmax)?;
+    if enclosed.scan != scan {
+        return Ok(fail(
+            scan.ratio,
+            enclosed.scan.ratio,
+            "enclosed scan diverges from the plain exact scan".to_owned(),
+            None,
+        ));
+    }
+    let (lo, hi) = (enclosed.enclosure.lo(), enclosed.enclosure.hi());
+    let observed = skew_up(inject, scan.ratio);
+    if !(lo <= observed && observed <= hi) {
+        return Ok(fail(
+            scan.ratio,
+            observed,
+            format!("exact supremum escapes its certified enclosure [{lo}, {hi}]"),
+            None,
+        ));
+    }
+    let width = hi - lo;
+    if width > ENCLOSURE_WIDTH_RTOL * scan.ratio {
+        return Ok(fail(
+            ENCLOSURE_WIDTH_RTOL * scan.ratio,
+            width,
+            format!("enclosure [{lo}, {hi}] is wider than the outward-rounding budget"),
+            None,
+        ));
     }
     Ok(Verdict::Pass)
 }

@@ -27,10 +27,28 @@ pub struct Certificate {
 }
 
 impl Certificate {
+    /// Wraps a certified [`Interval`] enclosure as a named certificate
+    /// — the bridge that lets *measured* quantities (the exact
+    /// supremum engine's enclosed scans, the exploration engine's
+    /// worst-case values) join the Table-1 closed forms in `repro
+    /// certify` output.
+    #[must_use]
+    pub fn from_interval(quantity: impl Into<String>, enclosure: Interval) -> Certificate {
+        Certificate { quantity: quantity.into(), lo: enclosure.lo(), hi: enclosure.hi() }
+    }
+
     /// Whether the certificate contains `x`.
     #[must_use]
     pub fn contains(&self, x: f64) -> bool {
         self.lo <= x && x <= self.hi
+    }
+
+    /// Whether two certificates overlap — the consistency check
+    /// between a certified closed form and a certified measurement of
+    /// the same quantity (disjoint enclosures prove a discrepancy).
+    #[must_use]
+    pub fn intersects(&self, other: &Certificate) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
     }
 
     /// The width of the enclosure.
@@ -198,6 +216,20 @@ mod tests {
             );
             assert!(cert.width() < 1e-9, "(n={n}, f={f}): width {}", cert.width());
         }
+    }
+
+    #[test]
+    fn from_interval_and_intersects_bridge_measured_enclosures() {
+        let enc = Interval::new(5.23, 5.24).unwrap();
+        let measured = Certificate::from_interval("measured sup of A(3, 1)", enc);
+        assert_eq!(measured.lo, 5.23);
+        assert_eq!(measured.hi, 5.24);
+        assert!(measured.contains(5.233));
+        let closed_form = certify_cr_upper(Params::new(3, 1).unwrap()).unwrap();
+        assert!(measured.intersects(&closed_form));
+        assert!(closed_form.intersects(&measured));
+        let disjoint = Certificate { quantity: "other".into(), lo: 9.0, hi: 9.1 };
+        assert!(!measured.intersects(&disjoint));
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! approximated with `xmax * (1 + eps)` probes.
 
 use crate::error::{Error, Result};
+use crate::interval::Interval;
 use crate::spacetime::SpaceTime;
 use crate::trajectory::PiecewiseTrajectory;
 
@@ -61,6 +62,56 @@ impl Affine {
             return None;
         }
         Some((t - self.intercept) / self.slope)
+    }
+
+    /// Outward-rounded enclosure of the visit time at the exact point
+    /// `x`, mirroring [`Affine::eval`]'s rounding order (`mul` then
+    /// `add`): contains both the real-arithmetic value and the `f64`
+    /// evaluation at the same `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Domain`] for non-finite inputs.
+    pub fn enclosure_at(&self, x: f64) -> Result<Interval> {
+        Ok(Interval::around(self.slope * x)?.add_scalar(self.intercept))
+    }
+
+    /// Outward-rounded enclosure of `eval(x) / x` at the exact point
+    /// `x` (see [`Interval::affine_ratio`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Domain`] for `x == 0` or non-finite inputs.
+    pub fn ratio_enclosure(&self, x: f64) -> Result<Interval> {
+        Interval::affine_ratio(self.slope, self.intercept, x)
+    }
+
+    /// Outward-rounded enclosure of `eval(x) / x` over every `x` in the
+    /// zero-free interval `xs` (see [`Interval::affine_ratio_over`]) —
+    /// used to bracket a supremum across an imprecisely known crossing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Domain`] when `xs` contains zero.
+    pub fn ratio_enclosure_over(&self, xs: Interval) -> Result<Interval> {
+        Interval::affine_ratio_over(self.slope, self.intercept, xs)
+    }
+
+    /// An enclosure of the *true* crossing position of `self` and
+    /// `other`: [`Affine::crossing`] rounds twice (`sub` then `div`),
+    /// so the real crossing lies inside the outward-rounded quotient.
+    /// `None` when the lines are parallel or the slope difference is so
+    /// small that its enclosure straddles zero (the crossing position
+    /// is then numerically unbounded and cannot be certified).
+    #[must_use]
+    pub fn crossing_enclosure(&self, other: &Affine) -> Option<Interval> {
+        let ds = self.slope - other.slope;
+        if ds == 0.0 {
+            return None;
+        }
+        let num = Interval::around(other.intercept - self.intercept).ok()?;
+        let den = Interval::around(ds).ok()?;
+        num.div(den).ok()
     }
 
     fn from_segment(a: SpaceTime, b: SpaceTime) -> Affine {
@@ -242,6 +293,109 @@ pub fn first_visit_cover(
         }
     }
     Ok(WindowCover { cuts, beyond, intervals })
+}
+
+/// A [`WindowCover`] whose affines carry the index of the robot that
+/// contributes them — the form the fault-space exploration engine
+/// needs to restrict an interval's visit structure to a fault mask's
+/// reliable sub-fleet without rebuilding covers per mask.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributedCover {
+    /// Sorted, deduplicated critical points, window endpoints included
+    /// (identical to the unattributed cover's cuts).
+    cuts: Vec<f64>,
+    /// The smallest waypoint projection strictly beyond `hi`, if any.
+    beyond: Option<f64>,
+    /// `intervals[i]` holds `(robot, affine)` pairs valid on the open
+    /// interval `(cuts[i], cuts[i+1])`, in the same order as
+    /// [`first_visit_cover`] produces the bare affines.
+    intervals: Vec<Vec<(u32, Affine)>>,
+}
+
+impl AttributedCover {
+    /// The critical points within the window, endpoints included.
+    #[must_use]
+    pub fn cuts(&self) -> &[f64] {
+        &self.cuts
+    }
+
+    /// The first waypoint projection strictly beyond the window.
+    #[must_use]
+    pub fn beyond(&self) -> Option<f64> {
+        self.beyond
+    }
+
+    /// Per-interval `(robot, affine)` sets.
+    #[must_use]
+    pub fn intervals(&self) -> &[Vec<(u32, Affine)>] {
+        &self.intervals
+    }
+
+    /// Whether interval `i` is the beyond-window interval (see
+    /// [`WindowCover::is_beyond`]).
+    #[must_use]
+    pub fn is_beyond(&self, i: usize) -> bool {
+        self.beyond.is_some() && i + 1 == self.intervals.len()
+    }
+
+    /// The open bounds `(lo_i, hi_i)` of interval `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    #[must_use]
+    pub fn interval_bounds(&self, i: usize) -> (f64, f64) {
+        if self.is_beyond(i) {
+            (self.cuts[self.cuts.len() - 1], self.beyond.expect("beyond interval exists"))
+        } else {
+            (self.cuts[i], self.cuts[i + 1])
+        }
+    }
+}
+
+/// [`first_visit_cover`] with robot attribution: identical cuts,
+/// identical affine values in identical order, each tagged with the
+/// index of the contributing trajectory. Restricting an interval's
+/// affines to a subset of robots yields exactly the sub-fleet's visit
+/// structure there (a robot's first-visit affine depends only on its
+/// own trajectory).
+///
+/// # Errors
+///
+/// Same contract as [`first_visit_cover`].
+pub fn attributed_first_visit_cover(
+    trajectories: &[PiecewiseTrajectory],
+    lo: f64,
+    hi: f64,
+) -> Result<AttributedCover> {
+    validate_window(trajectories, lo, hi)?;
+    let (cuts, beyond, boundaries) = collect_cuts(trajectories, lo, hi);
+    let m = boundaries.len() - 1;
+    let mut intervals: Vec<Vec<(u32, Affine)>> = vec![Vec::new(); m];
+    let mut next: Vec<u32> = Vec::with_capacity(m + 1);
+    for (robot, traj) in trajectories.iter().enumerate() {
+        next.clear();
+        next.extend(0..=m as u32); // identity: everything unfilled
+        for seg in traj.segments() {
+            if seg.a.x == seg.b.x {
+                continue; // stationary: never covers an open interval
+            }
+            let (s_lo, s_hi) =
+                if seg.a.x < seg.b.x { (seg.a.x, seg.b.x) } else { (seg.b.x, seg.a.x) };
+            let (start, last) = covered_range(&boundaries, s_lo, s_hi);
+            if start >= last {
+                continue;
+            }
+            let affine = Affine::from_segment(seg.a, seg.b);
+            let mut j = find_unfilled(&mut next, start);
+            while j < last {
+                intervals[j].push((robot as u32, affine));
+                next[j] = j as u32 + 1;
+                j = find_unfilled(&mut next, j + 1);
+            }
+        }
+    }
+    Ok(AttributedCover { cuts, beyond, intervals })
 }
 
 /// Like [`first_visit_cover`], but collects *every* covering segment's
@@ -442,6 +596,58 @@ mod tests {
         }
         let back = mirrored(&m).unwrap();
         assert_eq!(back[0], t);
+    }
+
+    #[test]
+    fn enclosures_bracket_evaluations_and_crossings() {
+        let a = Affine { slope: 1.0, intercept: 6.0 };
+        let b = Affine { slope: -1.0, intercept: 14.0 };
+        for x in [1.0, 2.5, 3.75] {
+            let t = a.enclosure_at(x).unwrap();
+            assert!(t.contains(a.eval(x)), "x = {x}");
+            let r = a.ratio_enclosure(x).unwrap();
+            assert!(r.contains(a.eval(x) / x), "x = {x}");
+        }
+        // The crossing enclosure contains the f64 crossing (and the
+        // real one: these coefficients are exact, so they coincide).
+        let xc = a.crossing(&b).unwrap();
+        let enc = a.crossing_enclosure(&b).unwrap();
+        assert!(enc.contains(xc));
+        assert!(enc.width() < 1e-12 * xc.abs());
+        assert!(a.crossing_enclosure(&a).is_none(), "parallel lines have no crossing");
+        // The range form covers every point of the span.
+        let span = Interval::new(2.0, 3.0).unwrap();
+        let over = a.ratio_enclosure_over(span).unwrap();
+        for x in [2.0, 2.4, 3.0] {
+            assert!(over.contains(a.slope + a.intercept / x), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn attributed_cover_matches_the_bare_cover_with_robot_tags() {
+        let a = doubling_prefix();
+        let b = TrajectoryBuilder::from_origin().sweep_to(3.0).sweep_to(-5.0).finish().unwrap();
+        let fleet = [a, b];
+        let bare = first_visit_cover(&fleet, 1.0, 6.0).unwrap();
+        let tagged = attributed_first_visit_cover(&fleet, 1.0, 6.0).unwrap();
+        assert_eq!(tagged.cuts(), bare.cuts());
+        assert_eq!(tagged.beyond(), bare.beyond());
+        assert_eq!(tagged.intervals().len(), bare.intervals().len());
+        for (i, (bare_affines, tagged_affines)) in
+            bare.intervals().iter().zip(tagged.intervals()).enumerate()
+        {
+            let stripped: Vec<Affine> = tagged_affines.iter().map(|&(_, f)| f).collect();
+            assert_eq!(&stripped, bare_affines, "interval {i}");
+            for &(robot, _) in tagged_affines {
+                assert!((robot as usize) < fleet.len(), "interval {i}");
+            }
+            assert_eq!(tagged.is_beyond(i), bare.is_beyond(i));
+            assert_eq!(tagged.interval_bounds(i), bare.interval_bounds(i));
+        }
+        // On (1, 3) robot 0's affine is the -2 -> +4 sweep and robot
+        // 1's is the 0 -> +3 sweep: attribution is by index.
+        let first = &tagged.intervals()[0];
+        assert_eq!(first.iter().map(|&(r, _)| r).collect::<Vec<_>>(), vec![0, 1]);
     }
 
     #[test]

@@ -212,6 +212,54 @@ impl Interval {
     pub fn hull(&self, other: Interval) -> Interval {
         Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
     }
+
+    /// Componentwise maximum: the enclosure of `max(a, b)` for
+    /// `a ∈ self`, `b ∈ other`.
+    ///
+    /// Exact (no widening): `max` over reals maps the bound pairs to
+    /// the bound pair, and `f64::max` on finite bounds is exact.
+    #[must_use]
+    pub fn max_enclosure(&self, other: Interval) -> Interval {
+        Interval { lo: self.lo.max(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Componentwise minimum: the enclosure of `min(a, b)` for
+    /// `a ∈ self`, `b ∈ other`. Exact, like
+    /// [`Interval::max_enclosure`].
+    #[must_use]
+    pub fn min_enclosure(&self, other: Interval) -> Interval {
+        Interval { lo: self.lo.min(other.lo), hi: self.hi.min(other.hi) }
+    }
+
+    /// Enclosure of the affine ratio `(slope * x + intercept) / x` at
+    /// the exact point `x`, mirroring the `f64` evaluation order of the
+    /// exact supremum engine (`mul`, `add`, `div`, one rounding each):
+    /// the result contains both the real-arithmetic value and every
+    /// `f64` evaluation of the same expression at the same `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Domain`] for `x == 0` or non-finite inputs.
+    pub fn affine_ratio(slope: f64, intercept: f64, x: f64) -> Result<Interval> {
+        if x == 0.0 {
+            return Err(Error::domain("affine ratio is undefined at x = 0"));
+        }
+        Interval::around(slope * x)?.add_scalar(intercept).div(Interval::point(x)?)
+    }
+
+    /// Enclosure of the affine ratio `slope + intercept / x` over every
+    /// `x` in the positive interval `xs` — the range form used to
+    /// bracket a supremum near an imprecisely known critical point
+    /// (e.g. a pairwise crossing enclosed by [`Interval::around`]
+    /// arithmetic).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Domain`] when `xs` contains zero or the inputs
+    /// are non-finite.
+    pub fn affine_ratio_over(slope: f64, intercept: f64, xs: Interval) -> Result<Interval> {
+        Ok(Interval::point(intercept)?.div(xs)?.add_scalar(slope))
+    }
 }
 
 impl fmt::Display for Interval {
@@ -303,6 +351,50 @@ mod tests {
         assert!(a.contains(-6.0) && a.contains(-3.0));
         let b = iv(1.0, 2.0).add_scalar(10.0);
         assert!(b.contains(11.0) && b.contains(12.0));
+    }
+
+    #[test]
+    fn max_min_enclosures_are_componentwise_and_exact() {
+        let a = iv(1.0, 4.0);
+        let b = iv(2.0, 3.0);
+        let mx = a.max_enclosure(b);
+        assert_eq!((mx.lo(), mx.hi()), (2.0, 4.0));
+        let mn = a.min_enclosure(b);
+        assert_eq!((mn.lo(), mn.hi()), (1.0, 3.0));
+        // Enclosure property on sample points: max(x, y) for x in a,
+        // y in b always lands inside the componentwise max.
+        for (x, y) in [(1.0f64, 2.0f64), (4.0, 3.0), (2.5, 2.5)] {
+            assert!(mx.contains(x.max(y)), "max({x}, {y})");
+            assert!(mn.contains(x.min(y)), "min({x}, {y})");
+        }
+    }
+
+    #[test]
+    fn affine_ratio_encloses_real_and_f64_evaluations() {
+        let (slope, intercept) = (3.0, 7.0);
+        for x in [1.0, 2.5, 19.75, -4.0] {
+            let enc = Interval::affine_ratio(slope, intercept, x).unwrap();
+            // The f64 evaluation order of the exact engine.
+            let f64_value = (slope * x + intercept) / x;
+            assert!(enc.contains(f64_value), "x = {x}: {f64_value} outside {enc}");
+            assert!(
+                enc.width() <= 1e-12 * f64_value.abs().max(1.0),
+                "x = {x}: width {}",
+                enc.width()
+            );
+        }
+        assert!(Interval::affine_ratio(1.0, 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn affine_ratio_over_covers_the_whole_range() {
+        let xs = iv(2.0, 4.0);
+        let enc = Interval::affine_ratio_over(1.5, 6.0, xs).unwrap();
+        for i in 0..=10 {
+            let x = 2.0 + 2.0 * i as f64 / 10.0;
+            assert!(enc.contains(1.5 + 6.0 / x), "x = {x}");
+        }
+        assert!(Interval::affine_ratio_over(1.0, 1.0, iv(-1.0, 1.0)).is_err());
     }
 
     #[test]

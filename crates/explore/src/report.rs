@@ -1,0 +1,260 @@
+//! Versioned coverage reports for exploration runs.
+//!
+//! Every exploration emits exactly one [`ExploreReport`] that accounts
+//! for the whole state space: `explored + pruned_dominance ==
+//! class_states` and `subsampled == 0` always hold, so a report can
+//! never silently present a capped run as a complete one. Reports
+//! render to JSON (for programmatic consumers) and to a stable CSV row
+//! (for the committed `out/explore_coverage.csv` artifact); both
+//! renderings are byte-deterministic across runs and thread counts.
+
+use faultline_core::{Error, Result};
+use serde::Serialize;
+
+/// Version stamp of the report schema; bump on any field change.
+pub const REPORT_VERSION: u32 = 1;
+
+/// The worst adversary choice found by an exploration.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct WorstCase {
+    /// The worst-case competitive ratio `T_(f+1)(x) / |x|`, bit-equal
+    /// to [`faultline_analysis::exact_supremum`] on the same fleet.
+    pub value: f64,
+    /// The signed target position attaining it (deterministic under
+    /// ties: smallest magnitude, then the positive side).
+    pub target: f64,
+    /// Canonical representative of the worst fault class: the faulty
+    /// robot indices.
+    pub faulty: Vec<u32>,
+    /// Certified lower bound on the true supremum (never exceeds
+    /// `value`).
+    pub enclosure_lo: f64,
+    /// Certified upper bound on the true supremum (never below
+    /// `value`).
+    pub enclosure_hi: f64,
+}
+
+/// Coverage accounting for one exploration run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ExploreReport {
+    /// Schema version ([`REPORT_VERSION`]).
+    pub version: u32,
+    /// Fleet size.
+    pub n: usize,
+    /// Fault budget.
+    pub f: usize,
+    /// Window bound: targets range over `[-xmax, -1] ∪ [1, xmax]`.
+    pub xmax: f64,
+    /// Recorded seed. The engine is fully deterministic and never
+    /// draws from it; it exists so report provenance lines match the
+    /// CLI invocation.
+    pub seed: u64,
+    /// Whether dominance pruning was enabled (`false` for the
+    /// `--exhaustive` differential baseline).
+    pub pruning: bool,
+    /// Robot symmetry groups (robots with bitwise-identical induced
+    /// affine contributions collapse into one group).
+    pub robot_groups: usize,
+    /// Raw fault masks, `Σ_{k<=f} C(n, k)`.
+    pub mask_count: usize,
+    /// Canonical mask classes visited by the frontier (masks identical
+    /// up to robot-index symmetry collapse to one class).
+    pub mask_classes: usize,
+    /// Mask classes further merged because they induce bit-identical
+    /// reliable `WindowCover`s (e.g. faulting a robot that never
+    /// enters the window is equivalent to faulting nobody).
+    pub collapsed_covers: usize,
+    /// Adversary target intervals across both window sides (the
+    /// critical-point partition, beyond-window limits included).
+    pub intervals: usize,
+    /// Raw adversary states, `mask_count × intervals`.
+    pub raw_states: usize,
+    /// Equivalence-class states, `distinct classes × intervals` — the
+    /// `M` in "explored N of M".
+    pub class_states: usize,
+    /// Equivalence-class states actually evaluated — the `N`.
+    pub explored: usize,
+    /// Equivalence-class states cut by dominance pruning (subset
+    /// dominance plus certified branch-and-bound) — the `K`.
+    pub pruned_dominance: usize,
+    /// Always `0`: the engine errors out instead of subsampling.
+    pub subsampled: usize,
+    /// Raw states represented by the evaluated classes
+    /// (multiplicity-weighted), for the raw-state cut fraction.
+    pub raw_covered: usize,
+    /// The independent [`faultline_analysis::exact_supremum`] value
+    /// for the same fleet, carried for differential checking.
+    pub exact_ratio: f64,
+    /// Whether `worst.value` equals `exact_ratio` bit-for-bit.
+    pub matches_exact: bool,
+    /// The worst adversary choice and its certified enclosure.
+    pub worst: WorstCase,
+}
+
+impl ExploreReport {
+    /// Fraction of raw `mask × interval` states cut away by symmetry,
+    /// cover collapse, and dominance pruning, in `[0, 1]`.
+    #[must_use]
+    pub fn raw_cut_fraction(&self) -> f64 {
+        if self.raw_states == 0 {
+            return 0.0;
+        }
+        1.0 - self.raw_covered as f64 / self.raw_states as f64
+    }
+
+    /// Fraction of equivalence classes accounted for (evaluated or
+    /// provably dominance-pruned); `1.0` by construction.
+    #[must_use]
+    pub fn coverage_fraction(&self) -> f64 {
+        if self.class_states == 0 {
+            return 1.0;
+        }
+        (self.explored + self.pruned_dominance) as f64 / self.class_states as f64
+    }
+
+    /// Width of the certified supremum enclosure.
+    #[must_use]
+    pub fn enclosure_width(&self) -> f64 {
+        self.worst.enclosure_hi - self.worst.enclosure_lo
+    }
+
+    /// One-line human summary in the canonical coverage phrasing.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "n = {}, f = {}: explored {} of {} equivalence classes, pruned {} by dominance, \
+             subsampled {}; worst K = {} at x = {} in [{}, {}]",
+            self.n,
+            self.f,
+            self.explored,
+            self.class_states,
+            self.pruned_dominance,
+            self.subsampled,
+            self.worst.value,
+            self.worst.target,
+            self.worst.enclosure_lo,
+            self.worst.enclosure_hi,
+        )
+    }
+
+    /// Header line of the CSV rendering.
+    #[must_use]
+    pub fn csv_header() -> &'static str {
+        "version,n,f,xmax,pruning,robot_groups,mask_count,mask_classes,collapsed_covers,\
+         intervals,raw_states,class_states,explored,pruned_dominance,subsampled,raw_covered,\
+         raw_cut_fraction,worst_value,worst_target,enclosure_lo,enclosure_hi,exact_ratio,\
+         matches_exact"
+    }
+
+    /// One CSV row; floats use Rust's shortest-roundtrip formatting,
+    /// so rows are byte-deterministic and lossless.
+    #[must_use]
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.version,
+            self.n,
+            self.f,
+            self.xmax,
+            self.pruning,
+            self.robot_groups,
+            self.mask_count,
+            self.mask_classes,
+            self.collapsed_covers,
+            self.intervals,
+            self.raw_states,
+            self.class_states,
+            self.explored,
+            self.pruned_dominance,
+            self.subsampled,
+            self.raw_covered,
+            self.raw_cut_fraction(),
+            self.worst.value,
+            self.worst.target,
+            self.worst.enclosure_lo,
+            self.worst.enclosure_hi,
+            self.exact_ratio,
+            self.matches_exact,
+        )
+    }
+
+    /// Pretty JSON rendering.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer failures (none are expected: every float
+    /// in a successful report is finite).
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| Error::domain(format!("cannot serialize exploration report: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ExploreReport {
+        ExploreReport {
+            version: REPORT_VERSION,
+            n: 3,
+            f: 1,
+            xmax: 25.0,
+            seed: 0,
+            pruning: true,
+            robot_groups: 3,
+            mask_count: 4,
+            mask_classes: 4,
+            collapsed_covers: 0,
+            intervals: 10,
+            raw_states: 40,
+            class_states: 40,
+            explored: 30,
+            pruned_dominance: 10,
+            subsampled: 0,
+            raw_covered: 30,
+            exact_ratio: 9.0,
+            matches_exact: true,
+            worst: WorstCase {
+                value: 9.0,
+                target: 2.0,
+                faulty: vec![1],
+                enclosure_lo: 9.0 - 1e-12,
+                enclosure_hi: 9.0 + 1e-12,
+            },
+        }
+    }
+
+    #[test]
+    fn accounting_identities_hold() {
+        let r = report();
+        assert_eq!(r.explored + r.pruned_dominance, r.class_states);
+        assert!((r.coverage_fraction() - 1.0).abs() < 1e-15);
+        assert!((r.raw_cut_fraction() - 0.25).abs() < 1e-15);
+        assert!(r.enclosure_width() > 0.0);
+    }
+
+    #[test]
+    fn summary_uses_the_canonical_phrasing() {
+        let s = report().summary();
+        assert!(s.contains("explored 30 of 40 equivalence classes"), "{s}");
+        assert!(s.contains("pruned 10 by dominance"), "{s}");
+        assert!(s.contains("subsampled 0"), "{s}");
+    }
+
+    #[test]
+    fn csv_row_matches_the_header_arity() {
+        let header_fields = ExploreReport::csv_header().split(',').count();
+        let row_fields = report().csv_row().split(',').count();
+        assert_eq!(header_fields, row_fields);
+        assert_eq!(header_fields, 23);
+    }
+
+    #[test]
+    fn json_rendering_round_trips_key_fields() {
+        let j = report().to_json().unwrap();
+        assert!(j.contains("\"version\""));
+        assert!(j.contains("\"subsampled\""));
+        assert!(j.contains("\"enclosure_hi\""));
+    }
+}

@@ -1,0 +1,94 @@
+//! Satellite property test: dominance-pruned exploration is lossless.
+//!
+//! On every Table 1 pair with `n <= 5` the pruned frontier and the
+//! exhaustive differential baseline must report the same worst-case
+//! adversary value bit-for-bit while the pruned run visits strictly
+//! fewer states — across the whole `xmax` range, not just the
+//! committed coverage artifact's window. The deterministic pin below
+//! freezes the exact state counts at the artifact's `xmax = 25` so
+//! any change to canonicalization or pruning shows up in review.
+
+use faultline_explore::{explore_pair, ExploreConfig};
+use proptest::prelude::*;
+
+/// The Table 1 pairs with `n <= 5`.
+const SMALL_PAIRS: [(usize, usize); 8] =
+    [(2, 1), (3, 1), (3, 2), (4, 2), (4, 3), (5, 2), (5, 3), (5, 4)];
+
+#[test]
+fn pinned_state_counts_at_the_artifact_window() {
+    // (class_states, pruned explored, exhaustive explored, intervals)
+    // at xmax = 25 — the numbers behind out/explore_coverage.csv.
+    let pins = [
+        ((2, 1), (36, 10, 36, 12)),
+        ((3, 1), (40, 7, 40, 10)),
+        ((3, 2), (126, 14, 126, 18)),
+        ((4, 2), (154, 10, 154, 14)),
+        ((4, 3), (345, 20, 345, 23)),
+        ((5, 2), (192, 9, 192, 12)),
+        ((5, 3), (546, 17, 546, 21)),
+        ((5, 4), (837, 24, 837, 27)),
+    ];
+    for ((n, f), (class_states, pruned_explored, exhaustive_explored, intervals)) in pins {
+        let pruned = explore_pair(n, f, 25.0, &ExploreConfig::default()).unwrap();
+        let exhaustive =
+            explore_pair(n, f, 25.0, &ExploreConfig { exhaustive: true, ..Default::default() })
+                .unwrap();
+        assert_eq!(
+            (pruned.class_states, pruned.explored, exhaustive.explored, pruned.intervals),
+            (class_states, pruned_explored, exhaustive_explored, intervals),
+            "(n = {n}, f = {f}): state accounting drifted"
+        );
+        assert_eq!(exhaustive.pruned_dominance, 0);
+        assert_eq!(pruned.pruned_dominance, class_states - pruned_explored);
+        assert!(
+            pruned.raw_cut_fraction() >= 0.30,
+            "(n = {n}, f = {f}): acceptance floor of 30% raw-state cut"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pruning_is_lossless_across_windows(
+        pair_index in 0usize..SMALL_PAIRS.len(),
+        xmax in 5.0f64..30.0,
+    ) {
+        let (n, f) = SMALL_PAIRS[pair_index];
+        let pruned = explore_pair(n, f, xmax, &ExploreConfig::default()).unwrap();
+        let exhaustive =
+            explore_pair(n, f, xmax, &ExploreConfig { exhaustive: true, ..Default::default() })
+                .unwrap();
+        prop_assert_eq!(
+            pruned.worst.value.to_bits(),
+            exhaustive.worst.value.to_bits(),
+            "(n = {}, f = {}, xmax = {}): pruning changed the worst value",
+            n, f, xmax
+        );
+        prop_assert_eq!(pruned.worst.target.to_bits(), exhaustive.worst.target.to_bits());
+        prop_assert!(pruned.matches_exact && exhaustive.matches_exact);
+        prop_assert!(
+            pruned.explored < exhaustive.explored,
+            "(n = {}, f = {}): pruned {} vs exhaustive {}",
+            n, f, pruned.explored, exhaustive.explored
+        );
+        // The certified enclosure brackets the value in both modes and
+        // is identical bit-for-bit (pruning never drops the extremal
+        // enclosure contributions).
+        prop_assert!(pruned.worst.enclosure_lo <= pruned.worst.value);
+        prop_assert!(pruned.worst.value <= pruned.worst.enclosure_hi);
+        prop_assert_eq!(
+            pruned.worst.enclosure_lo.to_bits(),
+            exhaustive.worst.enclosure_lo.to_bits()
+        );
+        prop_assert_eq!(
+            pruned.worst.enclosure_hi.to_bits(),
+            exhaustive.worst.enclosure_hi.to_bits()
+        );
+        // Accounting identities: full coverage, no subsampling.
+        prop_assert_eq!(pruned.explored + pruned.pruned_dominance, pruned.class_states);
+        prop_assert_eq!(pruned.subsampled, 0);
+    }
+}

@@ -17,6 +17,15 @@
 //!
 //! Violations (there should be none) are captured as shrunk,
 //! replayable [`RunTrace`]s — see [`crate::trace`].
+//!
+//! This simulator-level sweep is the *legacy* exploration path: it
+//! fixes one target per run and replays every mask through the
+//! discrete-event engine. The `faultline-explore` crate supersedes it
+//! for coverage claims — it explores the full `(fault mask × target
+//! window)` space through canonical equivalence classes with dominance
+//! pruning and certified enclosures, and `repro explore` runs both as
+//! a differential pair. This module stays as the independent
+//! simulator-backed baseline.
 
 use faultline_core::{par_map, PiecewiseTrajectory, Result};
 use rand::rngs::StdRng;

@@ -11,6 +11,8 @@
 //! * [`opt`](faultline_opt) — the Theorem 1 / Theorem 2 gap optimizer.
 //! * [`conformance`](faultline_conformance) — cross-layer differential
 //!   oracle harness.
+//! * [`explore`](faultline_explore) — systematic fault/adversary-space
+//!   exploration with dominance pruning and certified enclosures.
 //!
 //! ```
 //! use faultline_suite::prelude::*;
@@ -31,6 +33,7 @@ pub use faultline_analysis as analysis;
 pub use faultline_analysis::scenario;
 pub use faultline_conformance as conformance;
 pub use faultline_core as core;
+pub use faultline_explore as explore;
 pub use faultline_opt as opt;
 pub use faultline_sim as sim;
 pub use faultline_strategies as strategies;
