@@ -23,7 +23,7 @@
 
 use faultline_core::coverage::{prefer_argmax, Fleet};
 use faultline_core::exact::{all_visit_cover, first_visit_cover, mirrored, Affine, WindowCover};
-use faultline_core::{Error, Interval, Result};
+use faultline_core::{Error, Geometry, Interval, Result};
 
 /// Exponent of the pressure's generalized mean: high enough that only
 /// interval suprema within a fraction of a percent of the global
@@ -223,6 +223,24 @@ fn scan_side_worst_case(cover: &WindowCover, k: usize) -> SideScan {
 /// Rejects `k == 0`, a window bound `xmax <= 1` or non-finite, and
 /// propagates enumeration failures.
 pub fn exact_supremum(fleet: &Fleet, k: usize, xmax: f64) -> Result<ExactScan> {
+    exact_supremum_geometry(fleet, k, xmax, Geometry::Line)
+}
+
+/// Geometry-parametric variant of [`exact_supremum`]: on
+/// [`Geometry::HalfLine`] only the positive window `[1, xmax]` exists,
+/// so the mirrored negative-side cover is skipped entirely and the
+/// scan's critical-point count halves. [`Geometry::Line`] reproduces
+/// [`exact_supremum`] bit for bit.
+///
+/// # Errors
+///
+/// As [`exact_supremum`].
+pub fn exact_supremum_geometry(
+    fleet: &Fleet,
+    k: usize,
+    xmax: f64,
+    geometry: Geometry,
+) -> Result<ExactScan> {
     if k == 0 {
         return Err(Error::domain("exact supremum needs a visit count k >= 1"));
     }
@@ -230,8 +248,21 @@ pub fn exact_supremum(fleet: &Fleet, k: usize, xmax: f64) -> Result<ExactScan> {
         return Err(Error::domain(format!("xmax must be finite and > 1, got {xmax}")));
     }
     let pos = first_visit_cover(fleet.trajectories(), 1.0, xmax)?;
-    let neg = first_visit_cover(&mirrored(fleet.trajectories())?, 1.0, xmax)?;
-    Ok(merge_sides(scan_side_worst_case(&pos, k), scan_side_worst_case(&neg, k)))
+    let neg = if geometry.has_negative_side() {
+        scan_side_worst_case(&first_visit_cover(&mirrored(fleet.trajectories())?, 1.0, xmax)?, k)
+    } else {
+        // The half-line has no negative side: an empty accumulator
+        // contributes no candidates, no uncovered intervals, and no
+        // critical points to the merge.
+        SideScan {
+            best: None,
+            uncovered: 0,
+            uncovered_x: None,
+            interval_sups: Vec::new(),
+            critical_points: 0,
+        }
+    };
+    Ok(merge_sides(scan_side_worst_case(&pos, k), neg))
 }
 
 /// An [`ExactScan`] paired with a certified enclosure of its
@@ -577,6 +608,63 @@ mod tests {
             assert!(scan.critical_points > 4);
             assert!(scan.pressure > 0.0 && scan.pressure <= 1.0 + 1e-12);
         }
+    }
+
+    #[test]
+    fn line_geometry_reproduces_exact_supremum_bitwise() {
+        let fleet = paper_fleet(4, 2, 18.0);
+        let two_sided = exact_supremum(&fleet, 3, 18.0).unwrap();
+        let explicit = exact_supremum_geometry(&fleet, 3, 18.0, Geometry::Line).unwrap();
+        assert_eq!(two_sided, explicit);
+    }
+
+    #[test]
+    fn half_line_scan_is_one_sided_and_dominated_by_the_line() {
+        let fleet = paper_fleet(3, 1, 15.0);
+        let line = exact_supremum_geometry(&fleet, 2, 15.0, Geometry::Line).unwrap();
+        let half = exact_supremum_geometry(&fleet, 2, 15.0, Geometry::HalfLine).unwrap();
+        assert_eq!(half.uncovered, 0);
+        assert!(half.argmax > 0.0, "half-line argmax stays on the positive side");
+        // Dropping the negative side can only shrink the supremum and
+        // exactly halves the enumerated critical points for a
+        // symmetric-cut fleet.
+        assert!(half.ratio <= line.ratio + 1e-12 * line.ratio);
+        assert!(half.critical_points < line.critical_points);
+        // The one-sided exact scan still dominates a dense one-sided grid.
+        for i in 0..2000 {
+            let x = 1.0 + 14.0 * i as f64 / 1999.0;
+            if let Some(r) = fleet.ratio_at(x, 2).unwrap() {
+                assert!(
+                    half.ratio >= r - 1e-12 * r,
+                    "half-line grid point {x} beats the exact supremum: {r} > {}",
+                    half.ratio
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn half_line_scan_handles_non_unit_speeds() {
+        use faultline_core::{PiecewiseTrajectory, SpaceTime};
+        // A speed-2 sweeper and a half-speed sweeper, both positive-only:
+        // the fast robot visits x at t = x/2, the slow one at t = 2x, so
+        // T_2(x)/x = 2 everywhere on the half-line.
+        let fast = PiecewiseTrajectory::with_speed_limit(
+            vec![SpaceTime::origin(), SpaceTime::new(40.0, 20.0)],
+            2.0,
+        )
+        .unwrap();
+        let slow = PiecewiseTrajectory::new(vec![SpaceTime::origin(), SpaceTime::new(20.0, 40.0)])
+            .unwrap();
+        let fleet = Fleet::new(vec![fast, slow]).unwrap();
+        let half = exact_supremum_geometry(&fleet, 2, 10.0, Geometry::HalfLine).unwrap();
+        assert_eq!(half.uncovered, 0);
+        assert!((half.ratio - 2.0).abs() < 1e-12, "got {}", half.ratio);
+        // The same fleet never covers the negative side: the full-line
+        // scan reports it uncovered instead of silently skipping it.
+        let line = exact_supremum_geometry(&fleet, 2, 10.0, Geometry::Line).unwrap();
+        assert!(line.uncovered > 0);
+        assert!(line.ratio.is_infinite());
     }
 
     #[test]

@@ -47,7 +47,8 @@ pub mod verification;
 
 pub use ascii::{line_chart, render_table, Series};
 pub use exact::{
-    exact_expected_supremum, exact_supremum, exact_supremum_enclosed, EnclosedScan, ExactScan,
+    exact_expected_supremum, exact_supremum, exact_supremum_enclosed, exact_supremum_geometry,
+    EnclosedScan, ExactScan,
 };
 pub use figures::FigureData;
 pub use report::{Comparison, ExperimentReport};

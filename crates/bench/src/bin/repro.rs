@@ -7,7 +7,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro [table1|fig5|figures|ablation|lower-bound|montecarlo|explore|optimize|conformance|all] [--fast] [--seed=N]
+//! repro [table1|fig5|figures|ablation|lower-bound|montecarlo|explore|optimize|conformance|scenario|all] [--fast] [--seed=N]
 //! repro replay <trace.json>
 //! repro bench [--quick] [--out=PATH] [--force] [--baseline=PATH]
 //! ```
@@ -80,6 +80,7 @@ mod rand_free {
             "explore" => run_explore(out_dir, fast, seed.unwrap_or(0))?,
             "optimize" => run_optimize(out_dir, fast, seed.unwrap_or(0))?,
             "conformance" => run_conformance(out_dir, fast, seed.unwrap_or(1))?,
+            "scenario" => run_scenario(out_dir)?,
             "replay" => {
                 let path = operand.ok_or("replay needs a trace file: repro replay <trace.json>")?;
                 run_replay(path)?;
@@ -98,12 +99,13 @@ mod rand_free {
                 run_explore(out_dir, fast, seed.unwrap_or(0))?;
                 run_optimize(out_dir, fast, seed.unwrap_or(0))?;
                 run_conformance(out_dir, fast, seed.unwrap_or(1))?;
+                run_scenario(out_dir)?;
             }
             other => {
                 eprintln!(
                     "unknown command `{other}`; expected table1 | fig5 | figures | ablation | \
                      lower-bound | montecarlo | extensions | verify | certify | explore | \
-                     optimize | conformance | replay <trace.json> | bench | all"
+                     optimize | conformance | scenario | replay <trace.json> | bench | all"
                 );
                 std::process::exit(2);
             }
@@ -727,6 +729,102 @@ fn run_conformance(
         )
         .into());
     }
+    Ok(())
+}
+
+/// Exact supremum vs adversarial-grid baseline for one fleet under
+/// one geometry; errors if the two engines disagree beyond
+/// [`faultline_conformance::EXACT_RTOL`].
+fn geometry_row(
+    case: &str,
+    fleet: &faultline_core::coverage::Fleet,
+    k: usize,
+    xmax: f64,
+    geometry: faultline_core::Geometry,
+) -> Result<String, Box<dyn std::error::Error>> {
+    use faultline_analysis::supremum::fleet_targets;
+    use faultline_conformance::EXACT_RTOL;
+
+    let scan = faultline_analysis::exact_supremum_geometry(fleet, k, xmax, geometry)?;
+    let grid = fleet_targets(fleet, xmax, 96)?
+        .iter()
+        .filter(|&&x| geometry.admits_target(x))
+        .map(|&x| fleet.visit_time(x, k).map_or(f64::INFINITY, |t| t / x.abs()))
+        .fold(0.0f64, f64::max);
+    let rel_gap = (scan.ratio - grid).abs() / grid.abs().max(1.0);
+    if !(scan.ratio.is_finite() && grid.is_finite()) || rel_gap > EXACT_RTOL {
+        return Err(format!(
+            "{case} / {}: exact supremum {} vs grid baseline {} disagree \
+             (rel gap {rel_gap:.3e} > {EXACT_RTOL:.0e})",
+            geometry.label(),
+            scan.ratio,
+            grid
+        )
+        .into());
+    }
+    println!(
+        "  {case:<24} {:<9}  exact CR {:.6}  grid {:.6}  rel gap {rel_gap:.2e}  argmax {:.4}",
+        geometry.label(),
+        scan.ratio,
+        grid,
+        scan.argmax
+    );
+    Ok(format!(
+        "{case},{},{k},{xmax},{:.12e},{:.12e},{rel_gap:.3e},{:.12e}\n",
+        geometry.label(),
+        scan.ratio,
+        grid,
+        scan.argmax
+    ))
+}
+
+fn run_scenario(out_dir: &Path) -> Result<(), Box<dyn std::error::Error>> {
+    use faultline_core::coverage::Fleet;
+    use faultline_core::Geometry;
+    use faultline_scenario::ScenarioDoc;
+
+    println!("== Scenario geometry: full-line vs half-line competitive ratios ==");
+    let mut csv = String::from("case,geometry,k,xmax,exact_cr,grid_cr,rel_gap,argmax\n");
+
+    // One Table-1 pair under both geometries: the half-line adversary
+    // is strictly weaker (no negative side), so its supremum can
+    // never be higher; both geometries must agree with the grid
+    // baseline.
+    let (n, f) = (3usize, 1usize);
+    let params = Params::new(n, f)?;
+    let xmax = 40.0;
+    let strategy = faultline_analysis::resolve_strategy("paper", None)?;
+    let plans = strategy.plans(params)?;
+    let probe = strategy.horizon_hint(params, xmax * 1.01);
+    let fleet = Fleet::from_plans(&plans, probe)?;
+    let case = format!("A({n},{f})");
+    csv.push_str(&geometry_row(&case, &fleet, f + 1, xmax, Geometry::Line)?);
+    csv.push_str(&geometry_row(&case, &fleet, f + 1, xmax, Geometry::HalfLine)?);
+
+    // The heterogeneous half-line example end-to-end: materialize the
+    // document's wall-clock fleet (non-unit speeds), run the exact
+    // engine on it, and simulate every declared target.
+    let path = "examples/scenarios/half_line.json";
+    let doc = ScenarioDoc::from_json(
+        &fs::read_to_string(path)
+            .map_err(|e| format!("{path}: {e} (run repro from the repository root)"))?,
+    )?;
+    let doc_xmax = doc.targets.iter().fold(1.0f64, |a, &x| a.max(x.abs()));
+    let (trajectories, _) = doc.materialize_fleet()?;
+    let het = Fleet::new(trajectories)?;
+    csv.push_str(&geometry_row("half_line.json", &het, doc.f + 1, doc_xmax, Geometry::HalfLine)?);
+    for result in doc.run()? {
+        match result.detection_time {
+            Some(t) => println!(
+                "  target {:>5}: detected at t = {:.4} (ratio {:.4})",
+                result.target, t, result.ratio
+            ),
+            None => println!("  target {:>5}: undetected within the horizon", result.target),
+        }
+    }
+
+    fs::write(out_dir.join("scenario_geometry.csv"), csv)?;
+    println!("(written to {}/scenario_geometry.csv)\n", out_dir.display());
     Ok(())
 }
 

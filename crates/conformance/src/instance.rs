@@ -66,6 +66,17 @@ pub struct Instance {
     /// otherwise.
     #[serde(default)]
     pub detect_probability: Option<f64>,
+    /// Per-robot speeds for heterogeneous-fleet cases
+    /// (`index % 7 == 2`), in `[0.5, 2.0)`: exercised by the
+    /// scenario-DSL oracles' generalized path. `None` otherwise;
+    /// defaulted on deserialization so earlier counterexample
+    /// documents still load.
+    #[serde(default)]
+    pub speeds: Option<Vec<f64>>,
+    /// Per-robot activation delays for staggered-start cases
+    /// (`index % 7 == 5`), in `[0, 2)`. `None` otherwise.
+    #[serde(default)]
+    pub activation_delays: Option<Vec<f64>>,
 }
 
 /// SplitMix64 finalizer: decorrelates per-instance streams drawn from
@@ -159,6 +170,14 @@ impl Instance {
             _ => (None, None),
         };
 
+        // Heterogeneous-fleet add-ons draw after (never between) all
+        // earlier draws, preserving every pre-existing field of every
+        // pre-existing case bit-for-bit.
+        let speeds: Option<Vec<f64>> =
+            (index % 7 == 2).then(|| (0..n).map(|_| rng.random_range(0.5..2.0)).collect());
+        let activation_delays: Option<Vec<f64>> =
+            (index % 7 == 5).then(|| (0..n).map(|_| rng.random_range(0.0..2.0)).collect());
+
         Instance {
             index,
             seed,
@@ -172,6 +191,8 @@ impl Instance {
             schedule,
             lie_rate,
             detect_probability,
+            speeds,
+            activation_delays,
         }
     }
 
@@ -327,5 +348,48 @@ mod tests {
         let a = Instance::generate(1, 5, &CAPS);
         let b = Instance::generate(2, 5, &CAPS);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn heterogeneous_addons_cycle_with_valid_parameters() {
+        let mut saw_speeds = false;
+        let mut saw_delays = false;
+        for index in 0..28u64 {
+            let instance = Instance::generate(9, index, &CAPS);
+            if index % 7 == 2 {
+                let speeds = instance.speeds.as_ref().expect("index % 7 == 2 draws speeds");
+                assert_eq!(speeds.len(), instance.n);
+                assert!(speeds.iter().all(|s| (0.5..2.0).contains(s)));
+                saw_speeds = true;
+            } else {
+                assert_eq!(instance.speeds, None);
+            }
+            if index % 7 == 5 {
+                let delays = instance
+                    .activation_delays
+                    .as_ref()
+                    .expect("index % 7 == 5 draws activation delays");
+                assert_eq!(delays.len(), instance.n);
+                assert!(delays.iter().all(|d| (0.0..2.0).contains(d)));
+                saw_delays = true;
+            } else {
+                assert_eq!(instance.activation_delays, None);
+            }
+        }
+        assert!(saw_speeds && saw_delays);
+    }
+
+    #[test]
+    fn pre_heterogeneous_documents_still_deserialize() {
+        let plain = Instance::generate(9, 1, &CAPS);
+        let json = serde_json::to_string(&plain).unwrap();
+        let stripped = json
+            .replace("\"speeds\":null,", "")
+            .replace(",\"speeds\":null", "")
+            .replace("\"activation_delays\":null,", "")
+            .replace(",\"activation_delays\":null", "");
+        assert!(!stripped.contains("speeds") && !stripped.contains("activation_delays"));
+        let legacy: Instance = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(plain, legacy);
     }
 }

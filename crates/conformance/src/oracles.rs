@@ -28,18 +28,21 @@
 //! | `byzantine-quorum-no-false-confirm` | no coalition of `f` liars confirms a false position; quorum detection = honest `T_votes(x)` | [`REL_TOL`] |
 //! | `expected-cr-monotone-in-p` | expected detection time is non-increasing in `p`; `E(1) = T_1(x)` | [`REL_TOL`] |
 //! | `enclosure-contains-exact` | `exact_supremum_enclosed` brackets the exact supremum tightly | [`ENCLOSURE_WIDTH_RTOL`] |
+//! | `unit-speed-scenario-equivalence` | a unit-speed, immediately-active, full-line scenario document reproduces the legacy runner bitwise | exact |
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use faultline_analysis::scenario::results_to_json;
 use faultline_analysis::{
     exact_supremum, exact_supremum_enclosed, measure_strategy_cr, measure_strategy_cr_grid,
-    measure_strategy_cr_sim,
+    measure_strategy_cr_sim, Scenario, ScenarioResult,
 };
 use faultline_core::closed_form::ClosedForm;
 use faultline_core::coverage::Fleet;
 use faultline_core::trajectory::PiecewiseTrajectory;
-use faultline_core::{certificate, ratio, Algorithm, Params, Result};
+use faultline_core::{certificate, ratio, Algorithm, Geometry, Params, Result};
 use faultline_opt::{Objective, PENALTY, PRESSURE_WEIGHT};
+use faultline_scenario::{Activation, RobotSpec, ScenarioDoc, SCENARIO_VERSION};
 use faultline_sim::engine::SimConfig;
 use faultline_sim::{
     expected_outcome, worst_case_outcome, FaultKind, FaultPlan, QuorumConfig, RunTrace,
@@ -171,7 +174,7 @@ pub fn oracle_by_name(name: &str) -> Option<&'static Oracle> {
     ORACLES.iter().find(|o| o.name == name)
 }
 
-static ORACLES: [Oracle; 18] = [
+static ORACLES: [Oracle; 19] = [
     Oracle {
         name: "sim-analytic-detection",
         description: "worst-case simulator detection time equals coverage T_(f+1)(x)",
@@ -283,6 +286,13 @@ static ORACLES: [Oracle; 18] = [
             "the certified supremum enclosure brackets the exact scan value and stays tight",
         tolerance: ENCLOSURE_WIDTH_RTOL,
         check: enclosure_contains_exact,
+    },
+    Oracle {
+        name: "unit-speed-scenario-equivalence",
+        description:
+            "a unit-speed, immediately-active, full-line scenario document reproduces the legacy scenario runner bitwise",
+        tolerance: 0.0,
+        check: unit_speed_scenario_equivalence,
     },
 ];
 
@@ -889,6 +899,94 @@ fn pfaulty_endpoint_collapse(inst: &Instance, inject: bool) -> Result<Verdict> {
         FaultKind::Sensor,
         "PFaulty{0.0} vs Sensor",
     )
+}
+
+/// The instance's regime spelled as a v1 scenario document.
+fn scenario_doc_for(inst: &Instance, robots: Option<Vec<RobotSpec>>) -> ScenarioDoc {
+    ScenarioDoc {
+        version: SCENARIO_VERSION,
+        n: inst.n,
+        f: inst.f,
+        strategy: "paper".to_owned(),
+        beta: None,
+        geometry: Geometry::Line,
+        targets: inst.targets.clone(),
+        faulty: (!inst.mask.is_empty()).then(|| inst.mask.clone()),
+        fault_plan: None,
+        quorum: None,
+        seed: None,
+        robots,
+    }
+}
+
+/// The scalar signature of a scenario result set: total detection
+/// time, with undetected targets contributing `-1`. Never exactly
+/// zero (detection times exceed 1 because targets do), so any
+/// injected skew perturbs it.
+fn results_signature(results: &[ScenarioResult]) -> f64 {
+    results.iter().map(|r| r.detection_time.unwrap_or(-1.0)).sum()
+}
+
+fn unit_speed_scenario_equivalence(inst: &Instance, inject: bool) -> Result<Verdict> {
+    // A document whose fleet is exactly the paper's must reproduce
+    // the legacy scenario runner byte-for-byte — both through the
+    // `as_legacy` delegation `run()` takes and through the
+    // generalized wall-clock path `run_general()`, whose retimings
+    // are all bitwise identities at unit speed and zero delay.
+    let legacy = Scenario {
+        n: inst.n,
+        f: inst.f,
+        strategy: "paper".to_owned(),
+        beta: None,
+        targets: inst.targets.clone(),
+        faulty: (!inst.mask.is_empty()).then(|| inst.mask.clone()),
+        fault_plan: None,
+        quorum: None,
+        seed: None,
+    };
+    let reference = legacy.run()?;
+    let expected = results_signature(&reference);
+    let expected_json = results_to_json(&reference)?;
+    let doc = scenario_doc_for(inst, None);
+    for (label, observed_results) in [("run", doc.run()?), ("run_general", doc.run_general()?)] {
+        let observed = skew_up(inject, results_signature(&observed_results));
+        let observed_json = results_to_json(&observed_results)?;
+        if (!inject && observed_json != expected_json) || observed.to_bits() != expected.to_bits() {
+            return Ok(fail(
+                expected,
+                observed,
+                format!("scenario document {label} diverged from the legacy runner"),
+                None,
+            ));
+        }
+    }
+    // When the generator drew heterogeneous add-ons, the generalized
+    // path must at least be deterministic under re-run: spell them as
+    // robot specs and demand bitwise-identical result documents.
+    if inst.speeds.is_some() || inst.activation_delays.is_some() {
+        let robots: Vec<RobotSpec> = (0..inst.n)
+            .map(|i| RobotSpec {
+                speed: inst.speeds.as_ref().map_or(1.0, |s| s[i]),
+                activation: inst
+                    .activation_delays
+                    .as_ref()
+                    .map_or(Activation::Immediate, |d| Activation::DelayedStart(d[i])),
+                fault_onset: None,
+            })
+            .collect();
+        let het = scenario_doc_for(inst, Some(robots));
+        let first = results_to_json(&het.run()?)?;
+        let second = results_to_json(&het.run()?)?;
+        if first != second {
+            return Ok(fail(
+                0.0,
+                1.0,
+                "heterogeneous scenario re-run was not byte-deterministic".to_owned(),
+                None,
+            ));
+        }
+    }
+    Ok(Verdict::Pass)
 }
 
 fn byzantine_quorum_no_false_confirm(inst: &Instance, inject: bool) -> Result<Verdict> {

@@ -31,6 +31,8 @@ fn thm1_instance(n: usize, f: usize, xmax: f64, grid_points: usize) -> Instance 
         schedule: None,
         lie_rate: None,
         detect_probability: None,
+        speeds: None,
+        activation_delays: None,
     }
 }
 

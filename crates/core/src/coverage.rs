@@ -336,22 +336,44 @@ pub fn adversarial_targets(
     grid_points: usize,
     eps: f64,
 ) -> Result<Vec<f64>> {
+    adversarial_targets_geometry(turning_points, xmax, grid_points, eps, crate::Geometry::Line)
+}
+
+/// Geometry-parametric variant of [`adversarial_targets`]: on
+/// [`crate::Geometry::HalfLine`] the negative mirror images are
+/// omitted, matching the one-sided adversary window `[1, xmax]`.
+///
+/// # Errors
+///
+/// Returns [`Error::Domain`] for invalid ranges.
+pub fn adversarial_targets_geometry(
+    turning_points: &[f64],
+    xmax: f64,
+    grid_points: usize,
+    eps: f64,
+    geometry: crate::Geometry,
+) -> Result<Vec<f64>> {
     if !(xmax > 1.0) {
         return Err(Error::domain(format!("xmax must exceed 1, got {xmax}")));
     }
+    let mirror = geometry.has_negative_side();
     let mut targets = Vec::new();
     for &tau in turning_points {
         let m = tau.abs();
         if (1.0..=xmax).contains(&m) {
             targets.push(m);
             targets.push(m * (1.0 + eps));
-            targets.push(-m);
-            targets.push(-m * (1.0 + eps));
+            if mirror {
+                targets.push(-m);
+                targets.push(-m * (1.0 + eps));
+            }
         }
     }
     for x in crate::numeric::logspace(1.0, xmax, grid_points)? {
         targets.push(x);
-        targets.push(-x);
+        if mirror {
+            targets.push(-x);
+        }
     }
     targets.sort_by(f64::total_cmp);
     targets.dedup();
@@ -576,6 +598,18 @@ mod tests {
         assert!(targets.iter().all(|&x| x.abs() >= 1.0 - 1e-12));
         assert!(targets.windows(2).all(|w| w[0] < w[1]), "sorted, deduplicated");
         assert!(adversarial_targets(&[], 0.5, 5, 1e-9).is_err());
+    }
+
+    #[test]
+    fn half_line_targets_are_one_sided() {
+        let two_sided = adversarial_targets(&[2.0, -4.0], 10.0, 5, 1e-9).unwrap();
+        let one_sided =
+            adversarial_targets_geometry(&[2.0, -4.0], 10.0, 5, 1e-9, crate::Geometry::HalfLine)
+                .unwrap();
+        assert!(one_sided.iter().all(|&x| x >= 1.0), "no negative-side probes");
+        // The one-sided grid is exactly the positive half of the full grid.
+        let positive: Vec<f64> = two_sided.iter().copied().filter(|&x| x > 0.0).collect();
+        assert_eq!(one_sided, positive);
     }
 
     #[test]

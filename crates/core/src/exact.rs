@@ -447,8 +447,13 @@ pub fn mirrored(trajectories: &[PiecewiseTrajectory]) -> Result<Vec<PiecewiseTra
     trajectories
         .iter()
         .map(|t| {
-            PiecewiseTrajectory::new(
+            // Reflection preserves segment speeds exactly, so carry the
+            // source trajectory's own speed bound: heterogeneous-speed
+            // fleets (speeds above 1) mirror as freely as unit fleets.
+            let max_speed = t.segments().map(|s| s.speed()).fold(1.0f64, f64::max);
+            PiecewiseTrajectory::with_speed_limit(
                 t.waypoints().iter().map(|w| SpaceTime::new(-w.x, w.t)).collect(),
+                max_speed,
             )
         })
         .collect()

@@ -1,0 +1,93 @@
+//! Search-domain geometry: the paper's infinite line and the one-sided
+//! half-line of *Probabilistically Faulty Searching on a Half-Line*
+//! (arXiv:2002.07797).
+//!
+//! The geometry parametrizes where the adversary may hide the target —
+//! and therefore which side(s) of the origin a worst-case scan must
+//! cover. On [`Geometry::Line`] the window is `[1, xmax]` on *both*
+//! sides; on [`Geometry::HalfLine`] only the positive side exists, so
+//! scans skip the mirrored negative cover entirely. Keeping this a core
+//! enum (rather than a boolean threaded ad hoc) leaves room for the
+//! ring/plane geometries of further successor papers.
+
+use serde::{Deserialize, Serialize};
+
+/// The search domain the adversary places targets in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Geometry {
+    /// The paper's infinite line: targets at `±x` for `x >= 1`.
+    #[default]
+    Line,
+    /// The one-sided half-line: targets only at `+x` for `x >= 1`.
+    HalfLine,
+}
+
+impl Geometry {
+    /// Whether the negative side of the origin is part of the domain.
+    #[must_use]
+    pub fn has_negative_side(self) -> bool {
+        matches!(self, Geometry::Line)
+    }
+
+    /// Stable lower-case label (report rows, CSV columns).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Geometry::Line => "line",
+            Geometry::HalfLine => "half-line",
+        }
+    }
+
+    /// Whether `x` lies inside the domain's adversary window `[1, xmax]`
+    /// (mirrored onto the negative side for the full line).
+    #[must_use]
+    pub fn admits_target(self, x: f64) -> bool {
+        match self {
+            Geometry::Line => x.abs() >= 1.0,
+            Geometry::HalfLine => x >= 1.0,
+        }
+    }
+}
+
+impl std::fmt::Display for Geometry {
+    fn fmt(&self, fmt: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fmt.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_is_the_default_and_two_sided() {
+        assert_eq!(Geometry::default(), Geometry::Line);
+        assert!(Geometry::Line.has_negative_side());
+        assert!(!Geometry::HalfLine.has_negative_side());
+    }
+
+    #[test]
+    fn target_admission_follows_the_window() {
+        assert!(Geometry::Line.admits_target(-2.0));
+        assert!(Geometry::Line.admits_target(1.0));
+        assert!(!Geometry::Line.admits_target(0.5));
+        assert!(Geometry::HalfLine.admits_target(2.0));
+        assert!(!Geometry::HalfLine.admits_target(-2.0));
+        assert!(!Geometry::HalfLine.admits_target(0.5));
+    }
+
+    #[test]
+    fn serde_uses_the_variant_names() {
+        let json = serde_json::to_string(&Geometry::HalfLine).unwrap();
+        assert_eq!(json, "\"HalfLine\"");
+        let back: Geometry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Geometry::HalfLine);
+        assert!(serde_json::from_str::<Geometry>("\"Ring\"").is_err());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Geometry::Line.to_string(), "line");
+        assert_eq!(Geometry::HalfLine.to_string(), "half-line");
+    }
+}

@@ -65,6 +65,7 @@ pub mod coverage;
 pub mod error;
 pub mod exact;
 pub mod free_schedule;
+pub mod geometry;
 pub mod interval;
 pub mod json_float;
 pub mod lower_bound;
@@ -89,6 +90,7 @@ pub use cone::Cone;
 pub use coverage::Fleet;
 pub use error::{Error, Result};
 pub use free_schedule::{FreePlan, FreeRobot, FreeSchedule};
+pub use geometry::Geometry;
 pub use interval::Interval;
 pub use parallel::{par_map, par_map_chunked, par_map_with, ParallelConfig};
 pub use params::{Params, Regime};

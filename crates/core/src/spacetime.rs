@@ -72,6 +72,25 @@ impl Segment {
     /// Returns [`Error::InvalidTrajectory`] if `b.t <= a.t` or the speed
     /// exceeds 1.
     pub fn new(a: SpaceTime, b: SpaceTime) -> Result<Self> {
+        Segment::with_speed_limit(a, b, 1.0)
+    }
+
+    /// Creates a segment for a robot whose maximum speed is `max_speed`
+    /// instead of the paper's unit bound — the heterogeneous-speed
+    /// scenario generalization. [`Segment::new`] is the `max_speed = 1`
+    /// special case.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidTrajectory`] if `b.t <= a.t`, the speed
+    /// exceeds `max_speed` (with the same relative tolerance), or
+    /// `max_speed` is not finite and positive.
+    pub fn with_speed_limit(a: SpaceTime, b: SpaceTime, max_speed: f64) -> Result<Self> {
+        if !(max_speed > 0.0) || !max_speed.is_finite() {
+            return Err(Error::trajectory(format!(
+                "speed limit must be finite and positive, got {max_speed}"
+            )));
+        }
         if !a.is_finite() || !b.is_finite() {
             return Err(Error::trajectory("segment endpoints must be finite"));
         }
@@ -82,9 +101,9 @@ impl Segment {
             )));
         }
         let speed = (b.x - a.x).abs() / (b.t - a.t);
-        if speed > 1.0 + crate::trajectory::SPEED_TOLERANCE {
+        if speed > max_speed * (1.0 + crate::trajectory::SPEED_TOLERANCE) {
             return Err(Error::trajectory(format!(
-                "segment speed {speed} exceeds the maximum speed 1"
+                "segment speed {speed} exceeds the maximum speed {max_speed}"
             )));
         }
         Ok(Segment { a, b })
@@ -208,5 +227,22 @@ mod tests {
         // Initial legs of Definition 4 move at speed 1/beta < 1.
         let s = seg(0.0, 0.0, 1.0, 3.0);
         assert!((s.speed() - 1.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn speed_limit_admits_fast_robots_and_still_validates() {
+        let a = SpaceTime::new(0.0, 0.0);
+        let b = SpaceTime::new(2.0, 1.0);
+        // Speed 2 is superluminal for the paper but fine for a
+        // heterogeneous-speed scenario robot with max_speed 2.
+        assert!(Segment::new(a, b).is_err());
+        let s = Segment::with_speed_limit(a, b, 2.0).unwrap();
+        assert_eq!(s.speed(), 2.0);
+        assert!(Segment::with_speed_limit(a, SpaceTime::new(2.5, 1.0), 2.0).is_err());
+        // The limit itself is validated.
+        assert!(Segment::with_speed_limit(a, b, 0.0).is_err());
+        assert!(Segment::with_speed_limit(a, b, f64::NAN).is_err());
+        // Time monotonicity still holds under any limit.
+        assert!(Segment::with_speed_limit(b, a, 5.0).is_err());
     }
 }

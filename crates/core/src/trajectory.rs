@@ -63,6 +63,20 @@ impl PiecewiseTrajectory {
     /// are supplied, times are not strictly increasing, any coordinate is
     /// non-finite, or any piece exceeds unit speed.
     pub fn new(waypoints: Vec<SpaceTime>) -> Result<Self> {
+        PiecewiseTrajectory::with_speed_limit(waypoints, 1.0)
+    }
+
+    /// Builds a trajectory for a robot whose maximum speed is
+    /// `max_speed` instead of the paper's unit bound, validating the
+    /// same structural invariants. Heterogeneous-speed scenarios retime
+    /// unit-speed plans through this constructor; [`Self::new`] is the
+    /// `max_speed = 1` special case and remains the only path trusted
+    /// by deserialization.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::new`], with the speed bound taken as `max_speed`.
+    pub fn with_speed_limit(waypoints: Vec<SpaceTime>, max_speed: f64) -> Result<Self> {
         if waypoints.len() < 2 {
             return Err(Error::trajectory(format!(
                 "a trajectory needs at least two waypoints, got {}",
@@ -70,8 +84,8 @@ impl PiecewiseTrajectory {
             )));
         }
         for pair in waypoints.windows(2) {
-            // Segment::new validates monotone time, finiteness and speed.
-            Segment::new(pair[0], pair[1])?;
+            // Validates monotone time, finiteness and the speed bound.
+            Segment::with_speed_limit(pair[0], pair[1], max_speed)?;
         }
         Ok(PiecewiseTrajectory { waypoints })
     }

@@ -416,7 +416,8 @@ pub fn explore_fleet(
     let class_space = class_space_size(&caps, f);
     if class_space > config.budget().max(1 << 20) {
         return Err(Error::domain(format!(
-            "class space of {class_space} states exceeds the exploration budget {} — \
+            "class space of {class_space} states exceeds the exploration budget {}: \
+             need budget >= {class_space} for (n = {n}, f = {f}) — \
              raise --budget instead of subsampling",
             config.budget()
         )));
@@ -465,10 +466,12 @@ pub fn explore_fleet(
         .collect();
     if states.len() > config.budget() {
         return Err(Error::domain(format!(
-            "{} evaluations exceed the exploration budget {} — \
+            "{} evaluations exceed the exploration budget {}: \
+             need budget >= {} for (n = {n}, f = {f}) — \
              raise --budget instead of subsampling",
             states.len(),
-            config.budget()
+            config.budget(),
+            states.len()
         )));
     }
 
@@ -691,7 +694,12 @@ mod tests {
     fn budget_overflow_is_a_hard_error_not_a_subsample() {
         let config = ExploreConfig { budget: Some(2), ..ExploreConfig::default() };
         let err = explore_pair(4, 2, 10.0, &config).unwrap_err();
-        assert!(err.to_string().contains("budget"), "{err}");
+        let message = err.to_string();
+        assert!(message.contains("budget"), "{message}");
+        // The diagnostic is actionable: it names the budget that would
+        // suffice and the (n, f) pair it was computed for.
+        assert!(message.contains("need budget >= "), "{message}");
+        assert!(message.contains("(n = 4, f = 2)"), "{message}");
     }
 
     #[test]

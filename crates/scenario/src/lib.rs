@@ -1,0 +1,35 @@
+//! # faultline-scenario
+//!
+//! A declarative, versioned scenario DSL generalizing the legacy
+//! [`faultline_analysis::Scenario`] form along three axes:
+//!
+//! * **Heterogeneous fleets** — per-robot `speed`, `activation`
+//!   (immediate, delayed, or seeded-random start) and `fault_onset`
+//!   schedules over the existing fault taxonomy.
+//! * **Geometry** — the paper's full line or the one-sided half-line
+//!   (`[1, xmax]` only), threading [`faultline_core::Geometry`]
+//!   through target validation and downstream analysis.
+//! * **Versioning** — an explicit `version` field (this build reads
+//!   [`SCENARIO_VERSION`]); future-versioned documents fail with a
+//!   typed diagnostic, never a panic, and every `f64` round-trips
+//!   bit-exactly through [`faultline_core::json_float`].
+//!
+//! Documents whose fleet is exactly the paper's delegate to the legacy
+//! runner and reproduce its output byte-for-byte — the
+//! `unit-speed-scenario-equivalence` conformance oracle pins the
+//! generalized path to the legacy one across a generated corpus.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+// `!(x > limit)` deliberately rejects NaN where `x <= limit` would not.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod document;
+pub mod optimize;
+pub mod run;
+
+pub use document::{
+    is_scenario_value, Activation, RobotSpec, ScenarioDoc, MAX_DELAY, MAX_SPEED, SCENARIO_VERSION,
+};
+pub use optimize::FromScenario;
+pub use run::{run_scenario_json, unsupported_document_error};

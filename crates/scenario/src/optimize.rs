@@ -1,0 +1,122 @@
+//! Seeding the free-schedule optimizer from a scenario document.
+//!
+//! [`FreeSchedule`] is unit-speed by construction (each leg's duration
+//! equals its turning-point sum), so only unit-speed documents lower
+//! into one; activation delays survive the lowering as additions to
+//! each robot's `first_turn_time`, which the optimizer is free to
+//! shrink back toward the geometric seed.
+
+use faultline_core::ProportionalSchedule;
+use faultline_core::{ratio::optimal_beta, Error, FreeRobot, FreeSchedule, Params, Result};
+
+use crate::document::ScenarioDoc;
+
+/// Types that can be seeded from a scenario document.
+pub trait FromScenario: Sized {
+    /// Builds a starting point for optimization from the document.
+    ///
+    /// # Errors
+    ///
+    /// Implementations reject documents outside their model.
+    fn from_scenario(doc: &ScenarioDoc, explicit_turns: usize) -> Result<Self>;
+}
+
+impl FromScenario for FreeSchedule {
+    /// Lowers the document's strategy into a free schedule with
+    /// `explicit_turns` turning points per robot: `"paper"` uses the
+    /// closed-form optimal cone, `"fixed-beta"` the document's `beta`.
+    /// Activation delays shift each robot's launch time.
+    fn from_scenario(doc: &ScenarioDoc, explicit_turns: usize) -> Result<Self> {
+        doc.validate()?;
+        let params = Params::new(doc.n, doc.f)?;
+        if let Some(spec) = doc.robot_specs().iter().find(|s| s.speed.to_bits() != 1.0f64.to_bits())
+        {
+            return Err(Error::domain(format!(
+                "free schedules are unit-speed by construction; robot speed {} cannot \
+                 be lowered",
+                spec.speed
+            )));
+        }
+        let beta = match doc.strategy.as_str() {
+            "paper" => optimal_beta(params)?,
+            "fixed-beta" => doc.beta.ok_or_else(|| {
+                Error::domain("strategy \"fixed-beta\" requires a \"beta\" field")
+            })?,
+            other => {
+                return Err(Error::domain(format!(
+                    "only \"paper\" and \"fixed-beta\" scenarios lower into a free \
+                     schedule, not \"{other}\""
+                )))
+            }
+        };
+        let schedule = ProportionalSchedule::new(doc.n, beta)?;
+        let seeded = FreeSchedule::from_proportional(&schedule, explicit_turns)?;
+        let delays = doc.activation_delays();
+        let robots = seeded
+            .robots()
+            .iter()
+            .zip(&delays)
+            .map(|(robot, &delay)| {
+                FreeRobot::new(robot.side, robot.turns.clone(), robot.first_turn_time + delay)
+            })
+            .collect::<Result<Vec<_>>>()?;
+        FreeSchedule::new(robots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(json: &str) -> ScenarioDoc {
+        ScenarioDoc::from_json(json).unwrap()
+    }
+
+    #[test]
+    fn paper_scenario_lowers_to_the_proportional_seed() {
+        let d = doc(r#"{"version": 1, "n": 3, "f": 1, "targets": [4.0]}"#);
+        let fs = FreeSchedule::from_scenario(&d, 6).unwrap();
+        let params = Params::new(3, 1).unwrap();
+        let beta = optimal_beta(params).unwrap();
+        let reference =
+            FreeSchedule::from_proportional(&ProportionalSchedule::new(3, beta).unwrap(), 6)
+                .unwrap();
+        assert_eq!(fs.n(), 3);
+        for (a, b) in fs.robots().iter().zip(reference.robots()) {
+            assert_eq!(a.turns, b.turns, "no delays: the seed is untouched");
+            assert_eq!(a.first_turn_time, b.first_turn_time);
+        }
+    }
+
+    #[test]
+    fn activation_delays_shift_launch_times() {
+        let d = doc(r#"{"version": 1, "n": 2, "f": 1, "targets": [4.0],
+                "robots": [{"activation": {"DelayedStart": 1.25}}, {}]}"#);
+        let fs = FreeSchedule::from_scenario(&d, 4).unwrap();
+        let base = doc(r#"{"version": 1, "n": 2, "f": 1, "targets": [4.0]}"#);
+        let reference = FreeSchedule::from_scenario(&base, 4).unwrap();
+        assert_eq!(fs.robots()[0].first_turn_time, reference.robots()[0].first_turn_time + 1.25);
+        assert_eq!(fs.robots()[1].first_turn_time, reference.robots()[1].first_turn_time);
+    }
+
+    #[test]
+    fn non_unit_speeds_and_foreign_strategies_are_rejected() {
+        let fast = doc(r#"{"version": 1, "n": 2, "f": 1, "targets": [4.0],
+                "robots": [{"speed": 2.0}, {}]}"#);
+        assert!(FreeSchedule::from_scenario(&fast, 4).is_err());
+        let sweep = doc(r#"{"version": 1, "n": 2, "f": 1, "strategy": "randomized-sweep",
+                "targets": [4.0]}"#);
+        assert!(FreeSchedule::from_scenario(&sweep, 4).is_err());
+    }
+
+    #[test]
+    fn fixed_beta_uses_the_document_beta() {
+        let d = doc(r#"{"version": 1, "n": 3, "f": 1, "strategy": "fixed-beta", "beta": 2.5,
+                "targets": [4.0]}"#);
+        let fs = FreeSchedule::from_scenario(&d, 4).unwrap();
+        let reference =
+            FreeSchedule::from_proportional(&ProportionalSchedule::new(3, 2.5).unwrap(), 4)
+                .unwrap();
+        assert_eq!(fs.robots()[0].turns, reference.robots()[0].turns);
+    }
+}

@@ -12,6 +12,7 @@ use faultline_analysis::table1;
 use faultline_core::query::canonical_string;
 use faultline_core::CrQuery;
 use faultline_opt::OptimizeConfig;
+use faultline_scenario::{is_scenario_value, ScenarioDoc};
 use faultline_sim::RunTrace;
 
 use crate::http::Request;
@@ -221,6 +222,21 @@ fn prepare_scenario(request: &Request) -> Result<Prepared, ServeError> {
         }
     }
 
+    // Versioned scenario document (`version` + `n` present): the DSL
+    // with per-robot speeds, activation and geometry. Checked before
+    // the legacy form so a v1 document with a typo fails with the
+    // strict parser's diagnostic instead of silently degrading. The
+    // cache key is the canonical hash of the *resolved* document, so
+    // spelling defaults out (or not) hits the same entry.
+    if is_scenario_value(&value) {
+        let doc = ScenarioDoc::from_json(&request.body)
+            .map_err(|e| ServeError::BadRequest(e.to_string()))?;
+        let cache_key = key_for(Route::Scenario, &to_resolved_value(&doc)?);
+        let compute: Box<dyn FnOnce() -> Result<Vec<u8>, ServeError> + Send> =
+            Box::new(move || Ok(json_body(results_to_json(&doc.run()?)?)));
+        return Ok(Prepared { cache_key, compute });
+    }
+
     // Full declarative scenario: resolve it so defaults (strategy,
     // seed) land in the cache key.
     if let Ok(scenario) = Scenario::from_json(&request.body) {
@@ -409,6 +425,82 @@ mod tests {
         let a = prepare(Route::Scenario, &explicit).unwrap().cache_key;
         let b = prepare(Route::Scenario, &implicit).unwrap().cache_key;
         assert_eq!(a, b, "the default strategy is resolved before keying");
+    }
+
+    #[test]
+    fn versioned_documents_resolve_defaults_into_key() {
+        let implicit =
+            post("/v1/scenario", r#"{"version": 1, "n": 3, "f": 1, "targets": [2.0, -4.5]}"#);
+        let explicit = post(
+            "/v1/scenario",
+            r#"{"version": 1, "n": 3, "f": 1, "strategy": "paper", "geometry": "Line",
+                "targets": [2.0, -4.5]}"#,
+        );
+        let a = prepare(Route::Scenario, &implicit).unwrap().cache_key;
+        let b = prepare(Route::Scenario, &explicit).unwrap().cache_key;
+        assert_eq!(a, b, "resolved defaults key identically");
+        // A v1 document with a typo'd field fails loudly instead of
+        // falling through to the legacy parser.
+        let typo = post("/v1/scenario", r#"{"version": 1, "n": 3, "f": 1, "tragets": [2.0]}"#);
+        let Err(err) = prepare(Route::Scenario, &typo) else {
+            panic!("typo'd v1 document must be rejected")
+        };
+        assert!(err.message().contains("tragets"), "got: {}", err.message());
+        // Future versions are rejected with the version diagnostic.
+        let future = post("/v1/scenario", r#"{"version": 9, "n": 3, "f": 1, "targets": [2.0]}"#);
+        let Err(err) = prepare(Route::Scenario, &future) else {
+            panic!("future-versioned document must be rejected")
+        };
+        assert!(err.message().contains("unsupported scenario version 9"), "{}", err.message());
+    }
+
+    fn example_scenario(name: &str) -> String {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../examples/scenarios")
+            .join(name);
+        std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+    }
+
+    #[test]
+    fn preset_files_reproduce_named_presets_byte_for_byte() {
+        // Pinned regression: every canned file under examples/scenarios/
+        // that mirrors a named preset must produce the *identical*
+        // response bytes through POST /v1/scenario. A drifting preset
+        // or a lossy DSL float path shows up here first.
+        for (name, _) in SCENARIO_PRESETS {
+            let named = prepare(
+                Route::Scenario,
+                &post("/v1/scenario", &format!("{{\"name\": \"{name}\"}}")),
+            )
+            .unwrap();
+            let file_body = example_scenario(&format!("{name}.json"));
+            let from_file = prepare(Route::Scenario, &post("/v1/scenario", &file_body)).unwrap();
+            let a = (named.compute)().unwrap_or_else(|e| panic!("preset {name}: {e:?}"));
+            let b = (from_file.compute)().unwrap_or_else(|e| panic!("file {name}: {e:?}"));
+            assert_eq!(a, b, "preset `{name}` and its canned file diverge");
+        }
+    }
+
+    #[test]
+    fn half_line_example_runs_through_post() {
+        let body = example_scenario("half_line.json");
+        let prepared = prepare(Route::Scenario, &post("/v1/scenario", &body)).unwrap();
+        let text = String::from_utf8((prepared.compute)().expect("half-line runs")).unwrap();
+        assert!(text.contains("\"detection_time\""), "got: {text}");
+        // Deterministic: the same document prepares to the same key
+        // and the same bytes.
+        let again = prepare(Route::Scenario, &post("/v1/scenario", &body)).unwrap();
+        assert_eq!(again.cache_key, prepared.cache_key);
+        assert_eq!(String::from_utf8((again.compute)().unwrap()).unwrap(), text);
+    }
+
+    #[test]
+    fn heterogeneous_example_runs_through_post() {
+        let body = example_scenario("heterogeneous.json");
+        let prepared = prepare(Route::Scenario, &post("/v1/scenario", &body)).unwrap();
+        let text = String::from_utf8((prepared.compute)().expect("heterogeneous runs")).unwrap();
+        assert!(text.contains("\"confirmed_position\""), "quorum confirms: {text}");
     }
 
     #[test]

@@ -239,8 +239,57 @@ impl Simulation {
         config: SimConfig,
         quorum: Option<QuorumConfig>,
     ) -> Result<Self> {
+        Simulation::with_onsets(trajectories, target, plan, &[], seed, config, quorum)
+    }
+
+    /// Builds a simulation with per-robot *fault-onset* times layered
+    /// over the fault plan: robot `i`'s sensor behaves as
+    /// [`FaultKind::Reliable`] strictly before `onsets[i]` and switches
+    /// to its planned kind from that time on (Byzantine robots start
+    /// lying only at onset). `None` entries — or an empty slice —
+    /// mean the fault is present from the start, reproducing
+    /// [`Simulation::with_quorum`] bit for bit.
+    ///
+    /// Onsets modulate *sensor* behaviour only; a
+    /// [`FaultKind::SpeedDegraded`] robot's time dilation is a property
+    /// of its motion and always applies from the start (scenario-level
+    /// validation rejects that combination as meaningless).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Simulation::with_quorum`] rejects, plus
+    /// [`Error::InvalidParameters`] for a non-empty onset slice whose
+    /// length differs from the fleet and [`Error::Domain`] for a
+    /// non-finite or negative onset time.
+    pub fn with_onsets(
+        trajectories: Vec<PiecewiseTrajectory>,
+        target: Target,
+        plan: &FaultPlan,
+        onsets: &[Option<f64>],
+        seed: u64,
+        config: SimConfig,
+        quorum: Option<QuorumConfig>,
+    ) -> Result<Self> {
         if let Some(q) = quorum {
             q.validate()?;
+        }
+        if !onsets.is_empty() && onsets.len() != trajectories.len() {
+            return Err(Error::invalid_params(
+                trajectories.len(),
+                0,
+                format!(
+                    "fault onsets cover {} robots but the fleet has {}",
+                    onsets.len(),
+                    trajectories.len()
+                ),
+            ));
+        }
+        for onset in onsets.iter().flatten() {
+            if !onset.is_finite() || *onset < 0.0 {
+                return Err(Error::domain(format!(
+                    "fault onset times must be finite and non-negative, got {onset}"
+                )));
+            }
         }
         if trajectories.is_empty() {
             return Err(Error::invalid_params(0, 0, "simulation needs at least one robot"));
@@ -283,6 +332,9 @@ impl Simulation {
                 let id = RobotId(i);
                 let kind = plan.kind(id);
                 let scale = time_scale(kind);
+                // Strictly before its onset the robot's sensor is
+                // healthy; with no onset the fault is always engaged.
+                let onset = onsets.get(i).copied().flatten().unwrap_or(f64::NEG_INFINITY);
                 let turning_points = traj.turning_points();
                 let turns: Vec<(f64, f64)> = turning_points
                     .iter()
@@ -301,7 +353,9 @@ impl Simulation {
                         .iter()
                         .enumerate()
                         .filter(|&(k, p)| {
-                            p.t <= horizon && fault_coin(seed ^ BYZANTINE_STREAM, i, k) < lie_rate
+                            p.t <= horizon
+                                && p.t >= onset
+                                && fault_coin(seed ^ BYZANTINE_STREAM, i, k) < lie_rate
                         })
                         .map(|(_, p)| (p.t, p.x))
                         .collect(),
@@ -314,19 +368,25 @@ impl Simulation {
                     .map(|(k, t)| (k, t * scale))
                     .filter(|&(_, t)| t <= horizon)
                     .map(|(k, t)| {
-                        let report = match kind {
-                            FaultKind::Sensor | FaultKind::Byzantine { .. } => None,
-                            FaultKind::Intermittent { miss_probability } => {
-                                (fault_coin(seed, i, k) >= miss_probability).then_some(t)
+                        let report = if t < onset {
+                            // Pre-onset visits report like a healthy
+                            // sensor, whatever the planned fault kind.
+                            Some(t)
+                        } else {
+                            match kind {
+                                FaultKind::Sensor | FaultKind::Byzantine { .. } => None,
+                                FaultKind::Intermittent { miss_probability } => {
+                                    (fault_coin(seed, i, k) >= miss_probability).then_some(t)
+                                }
+                                FaultKind::PFaulty { detect_probability } => {
+                                    (fault_coin(seed, i, k) < detect_probability).then_some(t)
+                                }
+                                FaultKind::Delayed { latency } => {
+                                    let arrival = t + latency;
+                                    (arrival <= horizon).then_some(arrival)
+                                }
+                                FaultKind::Reliable | FaultKind::SpeedDegraded { .. } => Some(t),
                             }
-                            FaultKind::PFaulty { detect_probability } => {
-                                (fault_coin(seed, i, k) < detect_probability).then_some(t)
-                            }
-                            FaultKind::Delayed { latency } => {
-                                let arrival = t + latency;
-                                (arrival <= horizon).then_some(arrival)
-                            }
-                            FaultKind::Reliable | FaultKind::SpeedDegraded { .. } => Some(t),
                         };
                         ScheduledVisit { time: t, report }
                     })
@@ -951,6 +1011,105 @@ mod tests {
             SimConfig::default()
         )
         .is_err());
+    }
+
+    fn onset_run(
+        trajectories: Vec<PiecewiseTrajectory>,
+        target: f64,
+        kinds: Vec<FaultKind>,
+        onsets: &[Option<f64>],
+        seed: u64,
+    ) -> SearchOutcome {
+        let plan = FaultPlan::new(kinds).unwrap();
+        Simulation::with_onsets(
+            trajectories,
+            Target::new(target).unwrap(),
+            &plan,
+            onsets,
+            seed,
+            SimConfig::default(),
+            None,
+        )
+        .unwrap()
+        .run()
+    }
+
+    #[test]
+    fn sensor_fault_with_late_onset_reports_early_visits() {
+        // The robot stands on x = 3 at t = 3; its sensor dies at t = 5,
+        // so the early visit still reports.
+        let healthy_until_5 =
+            onset_run(vec![straight(9.0)], 3.0, vec![FaultKind::Sensor], &[Some(5.0)], 0);
+        assert_eq!(healthy_until_5.detection.unwrap().time, 3.0);
+        // With the onset before the visit the fault is fully engaged.
+        let dead_from_2 =
+            onset_run(vec![straight(9.0)], 3.0, vec![FaultKind::Sensor], &[Some(2.0)], 0);
+        assert!(!dead_from_2.detected());
+        // A visit exactly at the onset is already faulty (onset is
+        // inclusive).
+        let dead_from_3 =
+            onset_run(vec![straight(9.0)], 3.0, vec![FaultKind::Sensor], &[Some(3.0)], 0);
+        assert!(!dead_from_3.detected());
+    }
+
+    #[test]
+    fn byzantine_onset_suppresses_early_lies() {
+        let zigzag = || {
+            TrajectoryBuilder::from_origin()
+                .sweep_to(2.0)
+                .sweep_to(-4.0)
+                .sweep_to(8.0)
+                .finish()
+                .unwrap()
+        };
+        // The robot first stands on x = 3 at t = 15 (third leg); with
+        // the Byzantine onset at t = 16 that visit still reports
+        // honestly, and no lie fires before the onset.
+        let kinds = vec![FaultKind::Byzantine { lie_rate: 1.0 }];
+        let always = onset_run(vec![zigzag()], 3.0, kinds.clone(), &[None], 1);
+        let late = onset_run(vec![zigzag()], 3.0, kinds, &[Some(16.0)], 1);
+        assert!(always.claims.iter().any(|c| !c.truthful && c.time < 16.0));
+        assert!(
+            late.claims.iter().filter(|c| !c.truthful).all(|c| c.time >= 16.0),
+            "no false claim before the onset: {:?}",
+            late.claims
+        );
+        assert_eq!(late.detection.unwrap().time, 15.0);
+        assert!(!always.detected());
+    }
+
+    #[test]
+    fn empty_onsets_reproduce_with_quorum_bitwise() {
+        for seed in [0u64, 7, 42] {
+            let kinds = vec![FaultKind::Intermittent { miss_probability: 0.5 }; 2];
+            let base = faulted(vec![straight(9.0), straight(-9.0)], 3.0, kinds.clone(), seed);
+            let with_empty =
+                onset_run(vec![straight(9.0), straight(-9.0)], 3.0, kinds.clone(), &[], seed);
+            let with_none =
+                onset_run(vec![straight(9.0), straight(-9.0)], 3.0, kinds, &[None, None], seed);
+            assert_eq!(base, with_empty);
+            assert_eq!(base, with_none);
+        }
+    }
+
+    #[test]
+    fn onsets_are_validated() {
+        let plan = FaultPlan::new(vec![FaultKind::Sensor]).unwrap();
+        let build = |onsets: &[Option<f64>]| {
+            Simulation::with_onsets(
+                vec![straight(5.0)],
+                Target::new(2.0).unwrap(),
+                &plan,
+                onsets,
+                0,
+                SimConfig::default(),
+                None,
+            )
+        };
+        assert!(build(&[Some(1.0), Some(2.0)]).is_err(), "length mismatch");
+        assert!(build(&[Some(f64::NAN)]).is_err());
+        assert!(build(&[Some(-1.0)]).is_err());
+        assert!(build(&[Some(0.0)]).is_ok(), "onset at t = 0 is the always-faulty edge");
     }
 
     #[test]

@@ -35,6 +35,9 @@ pub use faultline_conformance as conformance;
 pub use faultline_core as core;
 pub use faultline_explore as explore;
 pub use faultline_opt as opt;
+/// The versioned heterogeneous-scenario DSL (per-robot speeds,
+/// activation schedules, fault onsets, line/half-line geometry).
+pub use faultline_scenario as scenario_dsl;
 pub use faultline_sim as sim;
 pub use faultline_strategies as strategies;
 
@@ -50,6 +53,7 @@ pub mod prelude {
     pub use faultline_strategies::{all_strategies, strategy_by_name, PaperStrategy, Strategy};
 
     pub use crate::scenario::{Scenario, ScenarioResult};
+    pub use crate::scenario_dsl::ScenarioDoc;
 }
 
 #[cfg(test)]

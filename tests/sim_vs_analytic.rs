@@ -35,6 +35,8 @@ fn instance(n: usize, f: usize, strategy: &str, xmax: f64, targets: Vec<f64>) ->
         schedule: None,
         lie_rate: None,
         detect_probability: None,
+        speeds: None,
+        activation_delays: None,
     }
 }
 
