@@ -8,12 +8,14 @@
 #![warn(rust_2018_idioms)]
 
 pub mod baseline;
+pub mod load;
 pub mod output;
 
 pub use baseline::{
     compare_baselines, run_baseline, BaselineComparison, BenchBaseline, EngineComparison, HostInfo,
     PathComparison, WorkloadTiming, MIN_GATED_WALL_MS, REGRESSION_TOLERANCE,
 };
+pub use load::{compare_load, run_load, LoadReport};
 pub use output::resolve_out_path;
 
 /// Workspace version, re-exported for the harness banner.

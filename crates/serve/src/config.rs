@@ -26,6 +26,19 @@ pub struct ServeConfig {
     /// still queued or computing when it expires answers
     /// `504 Gateway Timeout`.
     pub request_timeout: Duration,
+    /// Bind the listener with `SO_REUSEPORT` so multiple shard
+    /// processes (or in-process servers) can share the address and let
+    /// the kernel balance accepts across them.
+    pub reuse_port: bool,
+    /// Largest `n` of the precomputed `/v1/cr` closed-form lattice
+    /// (every valid `(n, f)` with `n <= memo_max_n` is serialized at
+    /// startup and served without touching the cache or the pool).
+    /// `0` disables the tier.
+    pub memo_max_n: usize,
+    /// Keep-alive connections idle longer than this are closed by the
+    /// event loop's sweep (slowloris hygiene: a half-written request
+    /// holds one buffer, never a thread, and not forever).
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -37,6 +50,9 @@ impl Default for ServeConfig {
             cache_shards: 16,
             queue_capacity: 64,
             request_timeout: Duration::from_secs(60),
+            reuse_port: false,
+            memo_max_n: 64,
+            idle_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -64,6 +80,9 @@ impl ServeConfig {
         if self.request_timeout.is_zero() {
             return Err("request_timeout must be positive".to_owned());
         }
+        if self.idle_timeout.is_zero() {
+            return Err("idle_timeout must be positive".to_owned());
+        }
         Ok(())
     }
 }
@@ -86,5 +105,17 @@ mod tests {
         assert!(ServeConfig { request_timeout: Duration::ZERO, ..ServeConfig::default() }
             .validate()
             .is_err());
+        assert!(ServeConfig { idle_timeout: Duration::ZERO, ..ServeConfig::default() }
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn memo_tier_defaults_on_and_can_be_disabled() {
+        let config = ServeConfig::default();
+        assert_eq!(config.memo_max_n, 64);
+        assert!(!config.reuse_port);
+        let off = ServeConfig { memo_max_n: 0, ..ServeConfig::default() };
+        assert!(off.validate().is_ok(), "a disabled memo tier is valid");
     }
 }

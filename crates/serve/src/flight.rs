@@ -1,0 +1,121 @@
+//! Single-flight request coalescing.
+//!
+//! A thundering herd of identical cache misses should compute once: the
+//! first requester of a key creates a *flight* and submits the one pool
+//! job; every later requester of the same key parks on the flight as a
+//! waiter instead of submitting anything. When the job finishes (or
+//! times out, or bounces off a full queue) the flight *lands* and every
+//! waiter receives the byte-identical response.
+//!
+//! Parking and landing are both atomic under the table lock, so a
+//! waiter can never slip onto a flight that already landed (it would
+//! hang forever): once [`FlightTable::land`] removes the key, the next
+//! [`FlightTable::park`] creates a fresh flight — and by then the cache
+//! is warm, so its job answers immediately.
+//!
+//! Keys are the same canonical cache keys the LRU uses
+//! (`route-label|canonical_string`), so "identical request" means
+//! identical after default resolution — exactly the dedup rule the
+//! cache already implements.
+
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One parked connection awaiting a flight's outcome.
+pub struct Waiter {
+    /// The connection to answer on (blocking mode, pool-path dialect).
+    pub stream: TcpStream,
+    /// When this waiter's request was parsed (for its latency metric).
+    pub received: Instant,
+}
+
+/// Outcome of [`FlightTable::park`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Parked {
+    /// The caller's waiter created the flight; the caller must submit
+    /// the one pool job (or land the flight with an error).
+    Created,
+    /// The waiter coalesced onto an existing flight; nothing to submit.
+    Coalesced,
+}
+
+/// All flights currently in the air, keyed on the cache key.
+#[derive(Default)]
+pub struct FlightTable {
+    flights: Mutex<HashMap<String, Vec<Waiter>>>,
+}
+
+impl FlightTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> FlightTable {
+        FlightTable::default()
+    }
+
+    /// Parks a waiter on the flight for `key`, creating the flight if
+    /// absent.
+    #[must_use]
+    pub fn park(&self, key: &str, waiter: Waiter) -> Parked {
+        let mut flights = self.flights.lock().expect("flight table poisoned");
+        if let Some(waiters) = flights.get_mut(key) {
+            waiters.push(waiter);
+            return Parked::Coalesced;
+        }
+        flights.insert(key.to_owned(), vec![waiter]);
+        Parked::Created
+    }
+
+    /// Lands the flight for `key`: removes it (later requests for the
+    /// key start fresh) and returns its waiters for answering.
+    /// Idempotent; a second land is empty.
+    #[must_use]
+    pub fn land(&self, key: &str) -> Vec<Waiter> {
+        self.flights.lock().expect("flight table poisoned").remove(key).unwrap_or_default()
+    }
+
+    /// The number of flights currently in the air.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.flights.lock().expect("flight table poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn dummy_waiter() -> Waiter {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let _server_side = listener.accept().unwrap();
+        Waiter { stream: client, received: Instant::now() }
+    }
+
+    #[test]
+    fn first_parker_creates_then_others_coalesce() {
+        let table = FlightTable::new();
+        assert_eq!(table.park("k", dummy_waiter()), Parked::Created);
+        for _ in 0..3 {
+            assert_eq!(table.park("k", dummy_waiter()), Parked::Coalesced);
+        }
+        assert_eq!(table.in_flight(), 1);
+        let waiters = table.land("k");
+        assert_eq!(waiters.len(), 4, "creator + three coalesced waiters");
+        assert_eq!(table.in_flight(), 0);
+        assert!(table.land("k").is_empty(), "landing is idempotent");
+    }
+
+    #[test]
+    fn distinct_keys_fly_independently() {
+        let table = FlightTable::new();
+        assert_eq!(table.park("a", dummy_waiter()), Parked::Created);
+        assert_eq!(table.park("b", dummy_waiter()), Parked::Created);
+        assert_eq!(table.in_flight(), 2);
+        let _ = table.land("a");
+        assert_eq!(table.park("a", dummy_waiter()), Parked::Created, "landed keys restart");
+    }
+}

@@ -103,17 +103,28 @@ fn required_usize(request: &Request, name: &str) -> Result<usize, ServeError> {
     })
 }
 
+/// The response body for a `/v1/cr` query: the single source of truth
+/// shared by the request path and the startup memo tier, so both
+/// produce byte-identical documents.
+///
+/// # Errors
+///
+/// Rejects invalid `(n, f)` with a 400-mapped error.
+pub fn cr_body(query: &CrQuery) -> Result<Vec<u8>, ServeError> {
+    let report = query.evaluate().map_err(|e| ServeError::BadRequest(e.to_string()))?;
+    serde_json::to_string_pretty(&report)
+        .map(json_body)
+        .map_err(|e| ServeError::Internal(format!("serialization failed: {e}")))
+}
+
 fn prepare_cr(request: &Request) -> Result<Prepared, ServeError> {
     let query = CrQuery { n: required_usize(request, "n")?, f: required_usize(request, "f")? };
-    // Evaluate eagerly: it is closed-form (microseconds), and doing so
+    // Serialize eagerly: it is closed-form (microseconds), and doing so
     // rejects invalid (n, f) with a 400 before anything is cached.
-    let report = query.evaluate().map_err(|e| ServeError::BadRequest(e.to_string()))?;
+    let body = cr_body(&query)?;
     let cache_key = key_for(Route::Cr, &to_resolved_value(&query)?);
-    let compute: Box<dyn FnOnce() -> Result<Vec<u8>, ServeError> + Send> = Box::new(move || {
-        serde_json::to_string_pretty(&report)
-            .map(json_body)
-            .map_err(|e| ServeError::Internal(format!("serialization failed: {e}")))
-    });
+    let compute: Box<dyn FnOnce() -> Result<Vec<u8>, ServeError> + Send> =
+        Box::new(move || Ok(body));
     Ok(Prepared { cache_key, compute })
 }
 
@@ -317,6 +328,7 @@ mod tests {
             path: path.to_owned(),
             query: query.iter().map(|(k, v)| ((*k).to_owned(), (*v).to_owned())).collect(),
             body: String::new(),
+            keep_alive: true,
         }
     }
 
@@ -326,6 +338,7 @@ mod tests {
             path: path.to_owned(),
             query: Vec::new(),
             body: body.to_owned(),
+            keep_alive: true,
         }
     }
 

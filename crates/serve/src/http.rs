@@ -1,16 +1,18 @@
-//! Minimal HTTP/1.1 support over `std::net::TcpStream`: request
-//! parsing with size limits, percent-decoded query strings, and
-//! response writing. One request per connection (`Connection: close`),
-//! which keeps the state machine trivial and is exactly what the
-//! loopback client and tests speak.
+//! Minimal HTTP/1.1 support for the event loop: incremental request
+//! parsing out of a connection's accumulation buffer (with size
+//! limits), percent-decoded query strings, and response serialization.
+//! HTTP/1.1 connections are keep-alive by default; `Connection: close`
+//! (or HTTP/1.0 without `Connection: keep-alive`) opts out. Responses
+//! handed to the worker pool always close — a parked connection has no
+//! event-loop state to return to.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::Write;
 use std::net::TcpStream;
 
 /// Upper bound on the request head (request line + headers).
-const MAX_HEAD_BYTES: usize = 16 * 1024;
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// Upper bound on a request body.
-const MAX_BODY_BYTES: usize = 1024 * 1024;
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
 
 /// A parsed HTTP request.
 #[derive(Debug, Clone)]
@@ -23,6 +25,8 @@ pub struct Request {
     pub query: Vec<(String, String)>,
     /// Request body (empty when absent).
     pub body: String,
+    /// Whether the connection may carry further requests afterwards.
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -50,6 +54,22 @@ impl ParseError {
     fn too_large(message: impl Into<String>) -> Self {
         ParseError { status: 413, message: message.into() }
     }
+}
+
+/// Outcome of attempting to parse one request from a buffer prefix.
+#[derive(Debug)]
+pub enum Parsed {
+    /// More bytes are needed; the buffer is a valid prefix so far.
+    Incomplete,
+    /// One complete request occupying the first `consumed` bytes.
+    Ready {
+        /// The parsed request.
+        request: Request,
+        /// Bytes of the buffer this request consumed.
+        consumed: usize,
+    },
+    /// The buffer prefix can never become a valid request.
+    Invalid(ParseError),
 }
 
 /// Decodes `%XX` escapes and `+` in a query component.
@@ -98,68 +118,84 @@ fn parse_query(raw: &str) -> Vec<(String, String)> {
         .collect()
 }
 
-/// Reads and parses one HTTP request from the stream.
+/// Attempts to parse one request from the front of `buf`.
 ///
-/// # Errors
-///
-/// The outer `Err` is an I/O failure (peer went away); the inner
-/// [`ParseError`] is a malformed or oversized request that should be
-/// answered with its status code.
-pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Result<Request, ParseError>> {
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    let mut head_bytes = 0usize;
-    reader.read_line(&mut line)?;
-    head_bytes += line.len();
-    let mut parts = line.split_whitespace();
-    let (method, target) = match (parts.next(), parts.next(), parts.next()) {
-        (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/1") => (m.to_uppercase(), t.to_owned()),
-        _ => return Ok(Err(ParseError::bad(format!("malformed request line: {}", line.trim())))),
+/// Incremental: call again with the same (grown) buffer after more
+/// bytes arrive. `Ready.consumed` tells the caller how much of the
+/// buffer to drain before parsing the next pipelined request.
+#[must_use]
+pub fn parse_request(buf: &[u8]) -> Parsed {
+    let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Parsed::Invalid(ParseError::too_large("request head exceeds 16 KiB"));
+        }
+        return Parsed::Incomplete;
+    };
+    if head_end + 4 > MAX_HEAD_BYTES {
+        return Parsed::Invalid(ParseError::too_large("request head exceeds 16 KiB"));
+    }
+    let Ok(head) = std::str::from_utf8(&buf[..head_end]) else {
+        return Parsed::Invalid(ParseError::bad("request head is not valid UTF-8"));
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/1") => {
+            (m.to_uppercase(), t.to_owned(), v.to_owned())
+        }
+        _ => {
+            return Parsed::Invalid(ParseError::bad(format!(
+                "malformed request line: {}",
+                request_line.trim()
+            )))
+        }
     };
 
     let mut content_length = 0usize;
-    loop {
-        let mut header = String::new();
-        if reader.read_line(&mut header)? == 0 {
-            return Ok(Err(ParseError::bad("unexpected end of headers")));
-        }
-        head_bytes += header.len();
-        if head_bytes > MAX_HEAD_BYTES {
-            return Ok(Err(ParseError::too_large("request head exceeds 16 KiB")));
-        }
-        let header = header.trim_end();
-        if header.is_empty() {
-            break;
-        }
+    // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close.
+    let mut keep_alive = version != "HTTP/1.0";
+    for header in lines {
         if let Some((name, value)) = header.split_once(':') {
+            let value = value.trim();
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = match value.trim().parse() {
+                content_length = match value.parse() {
                     Ok(v) => v,
                     Err(_) => {
-                        return Ok(Err(ParseError::bad(format!(
-                            "invalid Content-Length `{}`",
-                            value.trim()
-                        ))))
+                        return Parsed::Invalid(ParseError::bad(format!(
+                            "invalid Content-Length `{value}`"
+                        )))
                     }
                 };
+            } else if name.eq_ignore_ascii_case("connection") {
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
             }
         }
     }
     if content_length > MAX_BODY_BYTES {
-        return Ok(Err(ParseError::too_large("request body exceeds 1 MiB")));
+        return Parsed::Invalid(ParseError::too_large("request body exceeds 1 MiB"));
     }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
-    let body = match String::from_utf8(body) {
-        Ok(text) => text,
-        Err(_) => return Ok(Err(ParseError::bad("request body is not valid UTF-8"))),
+    let total = head_end + 4 + content_length;
+    if buf.len() < total {
+        return Parsed::Incomplete;
+    }
+    let body = match std::str::from_utf8(&buf[head_end + 4..total]) {
+        Ok(text) => text.to_owned(),
+        Err(_) => return Parsed::Invalid(ParseError::bad("request body is not valid UTF-8")),
     };
 
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p.to_owned(), parse_query(q)),
         None => (target, Vec::new()),
     };
-    Ok(Ok(Request { method, path: percent_decode(&path), query, body }))
+    Parsed::Ready {
+        request: Request { method, path: percent_decode(&path), query, body, keep_alive },
+        consumed: total,
+    }
 }
 
 /// The standard reason phrase for the status codes the service emits.
@@ -170,6 +206,7 @@ pub fn reason_phrase(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -178,7 +215,56 @@ pub fn reason_phrase(status: u16) -> &'static str {
     }
 }
 
-/// Writes a complete HTTP/1.1 response and flushes the stream.
+/// Serializes a complete HTTP/1.1 response into one wire buffer.
+#[must_use]
+pub fn response_bytes(
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+    keep_alive: bool,
+) -> Vec<u8> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
+        reason_phrase(status),
+        body.len(),
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    // One buffer, one write: avoids a Nagle/delayed-ACK interaction
+    // between a separate head and body segment.
+    let mut wire = Vec::with_capacity(head.len() + body.len());
+    wire.extend_from_slice(head.as_bytes());
+    wire.extend_from_slice(body);
+    wire
+}
+
+/// Serializes a JSON error body `{"error": ...}` with the given status.
+#[must_use]
+pub fn error_bytes(
+    status: u16,
+    message: &str,
+    extra_headers: &[(&str, String)],
+    keep_alive: bool,
+) -> Vec<u8> {
+    let body = serde_json::to_string(&serde::Value::Object(vec![(
+        "error".to_owned(),
+        serde::Value::String(message.to_owned()),
+    )]))
+    .unwrap_or_else(|_| "{\"error\":\"unrepresentable\"}".to_owned())
+        + "\n";
+    response_bytes(status, "application/json", extra_headers, body.as_bytes(), keep_alive)
+}
+
+/// Writes a complete HTTP/1.1 response (`Connection: close`) and
+/// flushes the stream. Used on the pool path, where the connection has
+/// left the event loop for good.
 ///
 /// # Errors
 ///
@@ -190,28 +276,12 @@ pub fn write_response(
     extra_headers: &[(&str, String)],
     body: &[u8],
 ) -> std::io::Result<()> {
-    let mut head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
-        reason_phrase(status),
-        body.len(),
-    );
-    for (name, value) in extra_headers {
-        head.push_str(name);
-        head.push_str(": ");
-        head.push_str(value);
-        head.push_str("\r\n");
-    }
-    head.push_str("\r\n");
-    // One vectored buffer, one write: avoids a Nagle/delayed-ACK
-    // interaction between a separate head and body segment.
-    let mut wire = Vec::with_capacity(head.len() + body.len());
-    wire.extend_from_slice(head.as_bytes());
-    wire.extend_from_slice(body);
-    stream.write_all(&wire)?;
+    stream.write_all(&response_bytes(status, content_type, extra_headers, body, false))?;
     stream.flush()
 }
 
-/// Writes a JSON error body `{"error": ...}` with the given status.
+/// Writes a JSON error body `{"error": ...}` with the given status
+/// (`Connection: close`).
 ///
 /// # Errors
 ///
@@ -222,13 +292,8 @@ pub fn write_error(
     message: &str,
     extra_headers: &[(&str, String)],
 ) -> std::io::Result<()> {
-    let body = serde_json::to_string(&serde::Value::Object(vec![(
-        "error".to_owned(),
-        serde::Value::String(message.to_owned()),
-    )]))
-    .unwrap_or_else(|_| "{\"error\":\"unrepresentable\"}".to_owned())
-        + "\n";
-    write_response(stream, status, "application/json", extra_headers, body.as_bytes())
+    stream.write_all(&error_bytes(status, message, extra_headers, false))?;
+    stream.flush()
 }
 
 #[cfg(test)]
@@ -253,8 +318,92 @@ mod tests {
 
     #[test]
     fn reason_phrases_cover_service_statuses() {
-        for status in [200, 400, 404, 405, 413, 500, 503, 504] {
+        for status in [200, 400, 404, 405, 408, 413, 500, 503, 504] {
             assert_ne!(reason_phrase(status), "Unknown", "status {status}");
         }
+    }
+
+    #[test]
+    fn incremental_parse_waits_for_the_full_request() {
+        let wire = b"POST /v1/supremum?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nbody";
+        for cut in 0..wire.len() {
+            match parse_request(&wire[..cut]) {
+                Parsed::Incomplete => {}
+                other => panic!("prefix of {cut} bytes parsed as {other:?}"),
+            }
+        }
+        match parse_request(wire) {
+            Parsed::Ready { request, consumed } => {
+                assert_eq!(consumed, wire.len());
+                assert_eq!(request.method, "POST");
+                assert_eq!(request.path, "/v1/supremum");
+                assert_eq!(request.query_param("x"), Some("1"));
+                assert_eq!(request.body, "body");
+                assert!(request.keep_alive, "HTTP/1.1 defaults to keep-alive");
+            }
+            other => panic!("complete request parsed as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_consume_exactly_one_request() {
+        let wire = b"GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n";
+        match parse_request(wire) {
+            Parsed::Ready { request, consumed } => {
+                assert_eq!(request.path, "/healthz");
+                assert_eq!(consumed, b"GET /healthz HTTP/1.1\r\n\r\n".len());
+                match parse_request(&wire[consumed..]) {
+                    Parsed::Ready { request, .. } => assert_eq!(request.path, "/metrics"),
+                    other => panic!("second request parsed as {other:?}"),
+                }
+            }
+            other => panic!("first request parsed as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn connection_header_controls_keep_alive() {
+        let close = b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let Parsed::Ready { request, .. } = parse_request(close) else { panic!("parse") };
+        assert!(!request.keep_alive);
+
+        let old = b"GET / HTTP/1.0\r\n\r\n";
+        let Parsed::Ready { request, .. } = parse_request(old) else { panic!("parse") };
+        assert!(!request.keep_alive, "HTTP/1.0 defaults to close");
+
+        let old_keep = b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n";
+        let Parsed::Ready { request, .. } = parse_request(old_keep) else { panic!("parse") };
+        assert!(request.keep_alive);
+    }
+
+    #[test]
+    fn oversized_heads_and_bodies_answer_413() {
+        let huge_head = format!("GET /?x={} HTTP/1.1\r\n", "a".repeat(MAX_HEAD_BYTES));
+        match parse_request(huge_head.as_bytes()) {
+            Parsed::Invalid(e) => assert_eq!(e.status, 413),
+            other => panic!("oversized head parsed as {other:?}"),
+        }
+        let huge_body =
+            format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        match parse_request(huge_body.as_bytes()) {
+            Parsed::Invalid(e) => assert_eq!(e.status, 413),
+            other => panic!("oversized body parsed as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_request_lines_are_invalid_not_incomplete() {
+        match parse_request(b"NOT-HTTP\r\n\r\n") {
+            Parsed::Invalid(e) => assert_eq!(e.status, 400),
+            other => panic!("garbage parsed as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_bytes_set_the_connection_header() {
+        let keep = response_bytes(200, "application/json", &[], b"{}", true);
+        assert!(std::str::from_utf8(&keep).unwrap().contains("Connection: keep-alive\r\n"));
+        let close = response_bytes(200, "application/json", &[], b"{}", false);
+        assert!(std::str::from_utf8(&close).unwrap().contains("Connection: close\r\n"));
     }
 }

@@ -1,7 +1,8 @@
 //! # faultline-serve
 //!
 //! A dependency-light HTTP/1.1 JSON query service over the faultline
-//! analysis stack, built directly on `std::net::TcpListener`:
+//! analysis stack, built on a readiness-based epoll event loop (raw
+//! syscall FFI in [`sys`], no `libc` crate):
 //!
 //! * **Routes** — `GET /v1/cr?n=&f=` (closed-form competitive-ratio
 //!   report), `GET /v1/table1` (regenerated Table 1),
@@ -9,28 +10,45 @@
 //!   scenario/trace documents), `POST /v1/supremum` (empirical
 //!   supremum), `POST /v1/optimize` (schedule-space optimizer gap
 //!   report), plus `GET /healthz` and `GET /metrics`.
-//! * **Caching** — a sharded LRU memoization cache keyed on the
-//!   canonical form of the fully-resolved request (including the
-//!   seed); hits are byte-identical to the fresh computation.
+//! * **Event loop** — one thread owns accept/read/write over
+//!   non-blocking sockets with HTTP/1.1 keep-alive; a half-written
+//!   request never occupies more than its own connection (no
+//!   thread-per-connection slowloris exposure).
+//! * **Serving tiers** — `GET /v1/cr` is answered from a precomputed
+//!   closed-form memo lattice ([`memo`], `X-Cache: memo`); other
+//!   requests hit the sharded LRU (`X-Cache: hit`), compute inline when
+//!   light, or park on the bounded worker pool when heavy.
+//! * **Single-flight coalescing** — concurrent misses on one canonical
+//!   cache key compute once ([`flight`]); every coalesced connection
+//!   receives the byte-identical response.
 //! * **Backpressure** — a bounded worker pool with a bounded admission
 //!   queue; a full queue answers `503 + Retry-After`, an expired
 //!   per-request deadline answers `504`.
-//! * **Operability** — plain-text metrics, graceful drain on
-//!   SIGINT/SIGTERM.
+//! * **Scale-out** — `SO_REUSEPORT` shard mode (`faultline serve
+//!   --shards=N`) and a deterministic seeded load generator
+//!   ([`loadgen`], `faultline loadgen`).
+//! * **Operability** — plain-text metrics (including per-tier
+//!   counters), graceful drain on SIGINT/SIGTERM that finishes parked
+//!   work and is not blocked by idle keep-alive connections.
 //!
 //! The binary surface lives in the `faultline` CLI (`faultline serve`,
-//! `faultline query`); this crate is the library behind it.
+//! `faultline query`, `faultline loadgen`); this crate is the library
+//! behind it.
 
 pub mod cache;
 pub mod client;
 pub mod config;
+pub mod flight;
 pub mod handlers;
 pub mod http;
+pub mod loadgen;
+pub mod memo;
 pub mod metrics;
 pub mod pool;
 pub mod router;
 pub mod server;
 pub mod signal;
+pub mod sys;
 
 pub use cache::ResponseCache;
 pub use config::{ServeConfig, DEFAULT_ADDR};

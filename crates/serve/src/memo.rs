@@ -1,0 +1,92 @@
+//! The precomputed closed-form tier.
+//!
+//! Thm-1 CR and `alpha(n)` are pure math: the whole `(n, f)` lattice up
+//! to a configured `n` is serialized once at startup, so `GET /v1/cr`
+//! in that range is a `HashMap` probe on the event loop — it touches
+//! neither the LRU cache nor the worker pool. Bodies come from
+//! [`crate::handlers::cr_body`], the same serializer the request path
+//! uses, so the tiers are byte-identical by construction.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use faultline_core::CrQuery;
+
+use crate::handlers;
+
+/// Precomputed `/v1/cr` responses for every valid `(n, f)`, `n` up to
+/// the configured maximum.
+pub struct CrMemo {
+    bodies: HashMap<(usize, usize), Arc<[u8]>>,
+}
+
+impl CrMemo {
+    /// Precomputes the lattice for `1 <= n <= max_n`, `0 <= f < n`,
+    /// skipping pairs the closed forms reject. `max_n = 0` builds an
+    /// empty memo (the tier is disabled).
+    #[must_use]
+    pub fn build(max_n: usize) -> CrMemo {
+        let mut bodies = HashMap::new();
+        for n in 1..=max_n {
+            for f in 0..n {
+                if let Ok(body) = handlers::cr_body(&CrQuery { n, f }) {
+                    bodies.insert((n, f), Arc::from(body.into_boxed_slice()));
+                }
+            }
+        }
+        CrMemo { bodies }
+    }
+
+    /// The memoized response body for `(n, f)`, if in range.
+    #[must_use]
+    pub fn get(&self, n: usize, f: usize) -> Option<Arc<[u8]>> {
+        self.bodies.get(&(n, f)).map(Arc::clone)
+    }
+
+    /// The number of memoized lattice points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bodies.len()
+    }
+
+    /// Whether the tier is disabled/empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bodies.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_covers_every_valid_pair() {
+        let memo = CrMemo::build(8);
+        // Every (n, f) with f < n that the closed forms accept.
+        for n in 1..=8usize {
+            for f in 0..n {
+                let expected = handlers::cr_body(&CrQuery { n, f }).ok();
+                let got = memo.get(n, f).map(|b| b.to_vec());
+                assert_eq!(expected, got, "memo and request path disagree at ({n}, {f})");
+            }
+        }
+        assert!(memo.get(9, 0).is_none(), "out of range");
+        assert!(memo.get(3, 3).is_none(), "f >= n never memoized");
+    }
+
+    #[test]
+    fn zero_disables_the_tier() {
+        let memo = CrMemo::build(0);
+        assert!(memo.is_empty());
+        assert!(memo.get(3, 1).is_none());
+    }
+
+    #[test]
+    fn memoized_bodies_match_the_request_path_bitwise() {
+        let memo = CrMemo::build(16);
+        assert!(!memo.is_empty());
+        let fresh = handlers::cr_body(&CrQuery { n: 11, f: 4 }).unwrap();
+        assert_eq!(&*memo.get(11, 4).unwrap(), fresh.as_slice());
+    }
+}

@@ -23,6 +23,11 @@ pub struct Metrics {
     latency_sum_us: AtomicU64,
     rejected_total: AtomicU64,
     timeout_total: AtomicU64,
+    coalesced_total: AtomicU64,
+    memo_hits_total: AtomicU64,
+    pool_jobs_total: AtomicU64,
+    connections_total: AtomicU64,
+    keepalive_reuses_total: AtomicU64,
     queue_depth: AtomicUsize,
     workers_busy: AtomicUsize,
     workers_total: usize,
@@ -39,6 +44,11 @@ impl Metrics {
             latency_sum_us: AtomicU64::new(0),
             rejected_total: AtomicU64::new(0),
             timeout_total: AtomicU64::new(0),
+            coalesced_total: AtomicU64::new(0),
+            memo_hits_total: AtomicU64::new(0),
+            pool_jobs_total: AtomicU64::new(0),
+            connections_total: AtomicU64::new(0),
+            keepalive_reuses_total: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
             workers_busy: AtomicUsize::new(0),
             workers_total,
@@ -71,6 +81,62 @@ impl Metrics {
     /// Sets the admission-queue depth gauge.
     pub fn set_queue_depth(&self, depth: usize) {
         self.queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// Records one request coalesced onto an existing in-flight
+    /// computation (single-flight follower; no pool job submitted).
+    pub fn coalesced(&self) {
+        self.coalesced_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cumulative count of coalesced (single-flight follower) requests.
+    #[must_use]
+    pub fn coalesced_requests(&self) -> u64 {
+        self.coalesced_total.load(Ordering::Relaxed)
+    }
+
+    /// Records one `/v1/cr` answered from the precomputed lattice.
+    pub fn memo_hit(&self) {
+        self.memo_hits_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cumulative count of memo-tier hits.
+    #[must_use]
+    pub fn memo_hits(&self) -> u64 {
+        self.memo_hits_total.load(Ordering::Relaxed)
+    }
+
+    /// Records one job starting execution on the worker pool.
+    pub fn pool_job(&self) {
+        self.pool_jobs_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cumulative count of jobs the worker pool executed.
+    #[must_use]
+    pub fn pool_jobs(&self) -> u64 {
+        self.pool_jobs_total.load(Ordering::Relaxed)
+    }
+
+    /// Records one accepted connection.
+    pub fn connection_accepted(&self) {
+        self.connections_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cumulative count of accepted connections.
+    #[must_use]
+    pub fn connections(&self) -> u64 {
+        self.connections_total.load(Ordering::Relaxed)
+    }
+
+    /// Records a second-or-later request on a persistent connection.
+    pub fn keepalive_reuse(&self) {
+        self.keepalive_reuses_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cumulative count of keep-alive connection reuses.
+    #[must_use]
+    pub fn keepalive_reuses(&self) -> u64 {
+        self.keepalive_reuses_total.load(Ordering::Relaxed)
     }
 
     /// Marks one worker as busy (on job start).
@@ -140,6 +206,28 @@ impl Metrics {
         out.push_str(&format!("faultline_cache_bytes {}\n", cache.live_bytes()));
         out.push_str(&format!("faultline_cache_entries {}\n", cache.live_entries()));
 
+        out.push_str("# TYPE faultline_serving_tiers counters\n");
+        out.push_str(&format!(
+            "faultline_cr_memo_hits_total {}\n",
+            self.memo_hits_total.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "faultline_coalesced_requests_total {}\n",
+            self.coalesced_total.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "faultline_pool_jobs_total {}\n",
+            self.pool_jobs_total.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "faultline_connections_total {}\n",
+            self.connections_total.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "faultline_keepalive_reuses_total {}\n",
+            self.keepalive_reuses_total.load(Ordering::Relaxed)
+        ));
+
         out.push_str("# TYPE faultline_pool gauges\n");
         out.push_str(&format!(
             "faultline_queue_depth {}\n",
@@ -186,6 +274,29 @@ mod tests {
         assert!(text.contains("faultline_request_latency_ms_bucket{le=\"+Inf\"} 4"));
         assert!(text.contains("faultline_queue_depth 0"));
         assert!(text.contains("faultline_workers_total 4"));
+    }
+
+    #[test]
+    fn tier_counters_render_and_accumulate() {
+        let metrics = Metrics::new(1);
+        metrics.memo_hit();
+        metrics.memo_hit();
+        metrics.coalesced();
+        metrics.pool_job();
+        metrics.connection_accepted();
+        metrics.keepalive_reuse();
+        assert_eq!(metrics.memo_hits(), 2);
+        assert_eq!(metrics.coalesced_requests(), 1);
+        assert_eq!(metrics.pool_jobs(), 1);
+        assert_eq!(metrics.connections(), 1);
+        assert_eq!(metrics.keepalive_reuses(), 1);
+        let cache = ResponseCache::new(16, 1);
+        let text = metrics.render(&cache);
+        assert!(text.contains("faultline_cr_memo_hits_total 2"));
+        assert!(text.contains("faultline_coalesced_requests_total 1"));
+        assert!(text.contains("faultline_pool_jobs_total 1"));
+        assert!(text.contains("faultline_connections_total 1"));
+        assert!(text.contains("faultline_keepalive_reuses_total 1"));
     }
 
     #[test]

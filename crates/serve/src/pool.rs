@@ -1,41 +1,77 @@
 //! Bounded worker pool with an admission queue.
 //!
-//! The accept loop resolves and validates requests, then submits a
+//! The event loop resolves and validates requests, then submits a
 //! [`Job`] here. `try_submit` never blocks: when the queue is at
 //! capacity the caller answers `503 Service Unavailable` with a
 //! `Retry-After` header instead (backpressure, not buffering).
 //!
-//! Each worker executes one job at a time. The job's compute closure
-//! runs on a watchdog thread so the worker can enforce the per-request
-//! deadline with `recv_timeout`: on expiry the client gets
-//! `504 Gateway Timeout` immediately while the abandoned computation
-//! finishes in the background and still warms the response cache (the
-//! closure inserts its result itself).
+//! A job answers a *flight* (see [`crate::flight`]), not a single
+//! socket: when it finishes, every connection coalesced onto the same
+//! cache key receives the byte-identical response. Each worker executes
+//! one job at a time. The job's compute closure runs on a watchdog
+//! thread so the worker can enforce the per-request deadline with
+//! `recv_timeout`: on expiry every waiter gets `504 Gateway Timeout`
+//! immediately while the abandoned computation finishes in the
+//! background and still warms the response cache (the closure inserts
+//! its result itself).
 
 use std::collections::VecDeque;
-use std::net::TcpStream;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, RecvTimeoutError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use crate::flight::{FlightTable, Waiter};
 use crate::http;
 use crate::metrics::Metrics;
 use crate::ServeError;
 
-/// An admitted request waiting for (or undergoing) computation.
+/// An admitted computation waiting for (or undergoing) execution. The
+/// connections it answers are parked on the flight table under `key`.
 pub struct Job {
-    /// The connection to answer on.
-    pub stream: TcpStream,
+    /// The cache key whose flight this job lands.
+    pub key: String,
+    /// The flight table holding the parked connections.
+    pub flights: Arc<FlightTable>,
     /// Route label for metrics.
     pub route: &'static str,
     /// Computes the response body (and inserts it into the cache).
     pub compute: Box<dyn FnOnce() -> Result<Vec<u8>, ServeError> + Send>,
-    /// When the request was read off the socket.
-    pub received: Instant,
-    /// Admission deadline; expired jobs answer 504 without computing.
+    /// Admission deadline (the creator's); expired jobs answer 504
+    /// without computing.
     pub deadline: Instant,
+}
+
+/// Writes a success response to every waiter of a landed flight.
+pub fn respond_waiters_ok(waiters: Vec<Waiter>, route: &str, metrics: &Metrics, body: &[u8]) {
+    for mut waiter in waiters {
+        // Count before writing: a client that has read its response must
+        // already see the request in /metrics.
+        metrics.observe(route, 200, waiter.received.elapsed());
+        let _ = http::write_response(
+            &mut waiter.stream,
+            200,
+            "application/json",
+            &[("X-Cache", "miss".to_owned())],
+            body,
+        );
+    }
+}
+
+/// Writes an error response to every waiter of a landed flight.
+pub fn respond_waiters_error(
+    waiters: Vec<Waiter>,
+    route: &str,
+    metrics: &Metrics,
+    status: u16,
+    message: &str,
+    extra_headers: &[(&str, String)],
+) {
+    for mut waiter in waiters {
+        metrics.observe(route, status, waiter.received.elapsed());
+        let _ = http::write_error(&mut waiter.stream, status, message, extra_headers);
+    }
 }
 
 struct QueueState {
@@ -50,8 +86,8 @@ struct QueueInner {
     metrics: Arc<Metrics>,
 }
 
-/// The bounded worker pool. Shared behind an `Arc` between the accept
-/// loop (drain) and per-connection threads (submit).
+/// The bounded worker pool. Shared behind an `Arc` between the event
+/// loop (submit) and the server teardown (drain).
 pub struct WorkerPool {
     inner: Arc<QueueInner>,
     handles: Mutex<Vec<JoinHandle<()>>>,
@@ -85,7 +121,7 @@ impl WorkerPool {
     /// # Errors
     ///
     /// Returns the job back when the queue is at capacity or the pool
-    /// is draining; the caller answers 503.
+    /// is draining; the caller answers 503 to the flight's waiters.
     pub fn try_submit(&self, job: Job) -> Result<(), Job> {
         let mut state = self.inner.state.lock().expect("pool queue poisoned");
         if state.closed || state.jobs.len() >= self.inner.capacity {
@@ -141,62 +177,64 @@ fn worker_loop(inner: &QueueInner) {
     }
 }
 
-/// Runs one job under its deadline and writes the response.
+/// Runs one job under its deadline and answers its flight.
 fn execute(job: Job, metrics: &Metrics) {
-    let Job { mut stream, route, compute, received, deadline } = job;
+    metrics.pool_job();
+    let Job { key, flights, route, compute, deadline } = job;
     let now = Instant::now();
-    let status = if now >= deadline {
-        let _ = http::write_error(&mut stream, 504, "deadline exceeded while queued", &[]);
-        504
-    } else {
-        let (tx, rx) = channel();
-        // The watchdog thread owns the computation; if the deadline
-        // fires first the result is dropped but the closure has already
-        // warmed the cache for the next request.
-        let spawned = std::thread::Builder::new().name("faultline-serve-compute".to_owned()).spawn(
-            move || {
-                let _ = tx.send(catch_unwind(AssertUnwindSafe(compute)));
-            },
+    if now >= deadline {
+        let waiters = flights.land(&key);
+        respond_waiters_error(waiters, route, metrics, 504, "deadline exceeded while queued", &[]);
+        return;
+    }
+    let (tx, rx) = channel();
+    // The watchdog thread owns the computation; if the deadline fires
+    // first the result is dropped but the closure has already warmed
+    // the cache for the next request.
+    let spawned =
+        std::thread::Builder::new().name("faultline-serve-compute".to_owned()).spawn(move || {
+            let _ = tx.send(catch_unwind(AssertUnwindSafe(compute)));
+        });
+    if let Err(e) = spawned {
+        let waiters = flights.land(&key);
+        respond_waiters_error(
+            waiters,
+            route,
+            metrics,
+            500,
+            &format!("cannot spawn compute: {e}"),
+            &[],
         );
-        match spawned {
-            Err(e) => {
-                let _ =
-                    http::write_error(&mut stream, 500, &format!("cannot spawn compute: {e}"), &[]);
-                500
-            }
-            Ok(_) => match rx.recv_timeout(deadline - now) {
-                Ok(Ok(Ok(body))) => {
-                    let _ = http::write_response(
-                        &mut stream,
-                        200,
-                        "application/json",
-                        &[("X-Cache", "miss".to_owned())],
-                        &body,
-                    );
-                    200
-                }
-                Ok(Ok(Err(error))) => {
-                    let _ = http::write_error(&mut stream, error.status(), error.message(), &[]);
-                    error.status()
-                }
-                Ok(Err(_panic)) => {
-                    let _ = http::write_error(&mut stream, 500, "computation panicked", &[]);
-                    500
-                }
-                Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
-                    let _ = http::write_error(&mut stream, 504, "deadline exceeded", &[]);
-                    504
-                }
-            },
+        return;
+    }
+    match rx.recv_timeout(deadline - now) {
+        Ok(Ok(Ok(body))) => {
+            // Land only after the closure inserted into the cache, so a
+            // request arriving now either hits the cache or starts a
+            // fresh (immediately-warm) flight — never waits forever.
+            let waiters = flights.land(&key);
+            respond_waiters_ok(waiters, route, metrics, &body);
         }
-    };
-    metrics.observe(route, status, received.elapsed());
+        Ok(Ok(Err(error))) => {
+            let waiters = flights.land(&key);
+            respond_waiters_error(waiters, route, metrics, error.status(), error.message(), &[]);
+        }
+        Ok(Err(_panic)) => {
+            let waiters = flights.land(&key);
+            respond_waiters_error(waiters, route, metrics, 500, "computation panicked", &[]);
+        }
+        Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
+            let waiters = flights.land(&key);
+            respond_waiters_error(waiters, route, metrics, 504, "deadline exceeded", &[]);
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::net::TcpListener;
+    use crate::flight::Parked;
+    use std::net::{TcpListener, TcpStream};
     use std::time::Duration;
 
     fn dummy_stream() -> TcpStream {
@@ -208,13 +246,15 @@ mod tests {
         client
     }
 
-    fn dummy_job(deadline_from_now: Duration) -> Job {
+    fn dummy_job(flights: &Arc<FlightTable>, key: &str, deadline_from_now: Duration) -> Job {
         let now = Instant::now();
+        let parked = flights.park(key, Waiter { stream: dummy_stream(), received: now });
+        assert_eq!(parked, Parked::Created, "test keys are unique per job");
         Job {
-            stream: dummy_stream(),
+            key: key.to_owned(),
+            flights: Arc::clone(flights),
             route: "/test",
             compute: Box::new(|| Ok(b"{}".to_vec())),
-            received: now,
             deadline: now + deadline_from_now,
         }
     }
@@ -230,8 +270,9 @@ mod tests {
             metrics,
         });
         let pool = WorkerPool { inner, handles: Mutex::new(Vec::new()) };
-        assert!(pool.try_submit(dummy_job(Duration::from_secs(5))).is_ok());
-        assert!(pool.try_submit(dummy_job(Duration::from_secs(5))).is_err());
+        let flights = Arc::new(FlightTable::new());
+        assert!(pool.try_submit(dummy_job(&flights, "a", Duration::from_secs(5))).is_ok());
+        assert!(pool.try_submit(dummy_job(&flights, "b", Duration::from_secs(5))).is_err());
         assert_eq!(pool.queue_depth(), 1);
     }
 
@@ -239,19 +280,43 @@ mod tests {
     fn drain_finishes_queued_jobs() {
         let metrics = Arc::new(Metrics::new(2));
         let pool = WorkerPool::new(2, 8, Arc::clone(&metrics));
-        for _ in 0..4 {
-            pool.try_submit(dummy_job(Duration::from_secs(5))).map_err(|_| "full").unwrap();
+        let flights = Arc::new(FlightTable::new());
+        for key in ["a", "b", "c", "d"] {
+            pool.try_submit(dummy_job(&flights, key, Duration::from_secs(5)))
+                .map_err(|_| "full")
+                .unwrap();
         }
         pool.drain();
         assert_eq!(metrics.requests_for("/test", 200), 4, "every queued job was executed");
+        assert_eq!(metrics.pool_jobs(), 4);
+        assert_eq!(flights.in_flight(), 0, "every flight landed");
     }
 
     #[test]
     fn expired_jobs_answer_504_without_computing() {
         let metrics = Arc::new(Metrics::new(1));
         let pool = WorkerPool::new(1, 4, Arc::clone(&metrics));
-        pool.try_submit(dummy_job(Duration::ZERO)).map_err(|_| "full").unwrap();
+        let flights = Arc::new(FlightTable::new());
+        pool.try_submit(dummy_job(&flights, "late", Duration::ZERO)).map_err(|_| "full").unwrap();
         pool.drain();
         assert_eq!(metrics.requests_for("/test", 504), 1);
+    }
+
+    #[test]
+    fn one_job_answers_every_coalesced_waiter() {
+        let metrics = Arc::new(Metrics::new(1));
+        let pool = WorkerPool::new(1, 4, Arc::clone(&metrics));
+        let flights = Arc::new(FlightTable::new());
+        let job = dummy_job(&flights, "herd", Duration::from_secs(5));
+        // Three more connections coalesce onto the same flight.
+        for _ in 0..3 {
+            let parked =
+                flights.park("herd", Waiter { stream: dummy_stream(), received: Instant::now() });
+            assert_eq!(parked, Parked::Coalesced, "the flight exists");
+        }
+        pool.try_submit(job).map_err(|_| "full").unwrap();
+        pool.drain();
+        assert_eq!(metrics.requests_for("/test", 200), 4, "all four waiters answered");
+        assert_eq!(metrics.pool_jobs(), 1, "one computation for the herd");
     }
 }

@@ -1,13 +1,32 @@
-//! The server: a non-blocking accept loop that polls the shutdown
-//! latch, per-connection threads that parse + resolve requests, an
-//! inline fast path for light work (health, metrics, closed-form `cr`,
-//! and *every* cache hit), and the bounded worker pool for heavy cache
-//! misses. Saturation therefore degrades exactly as advertised: heavy
-//! misses get `503 + Retry-After`, while probes and repeat queries keep
-//! answering.
+//! The server: a readiness-based epoll event loop (raw FFI, see
+//! [`crate::sys`]) owning accept/read/write with HTTP/1.1 keep-alive.
+//!
+//! One thread multiplexes every connection: non-blocking reads fill a
+//! per-connection buffer, requests are parsed incrementally out of it
+//! (a half-written header — slowloris — just occupies a buffer, never a
+//! thread), and responses queue into a per-connection write buffer
+//! flushed on writability. Serving goes through four tiers:
+//!
+//! 1. **memo** — `GET /v1/cr` inside the precomputed `(n, f)` lattice:
+//!    a `HashMap` probe, no cache, no pool (`X-Cache: memo`).
+//! 2. **hit** — the sharded LRU answers inline with the exact bytes of
+//!    the original computation (`X-Cache: hit`).
+//! 3. **light miss** — closed-form routes compute inline on the event
+//!    loop (`X-Cache: miss`).
+//! 4. **heavy miss** — the connection *parks* on a single-flight keyed
+//!    on the cache key; the first requester submits the one bounded
+//!    worker-pool job, coalesced followers just wait. Saturation
+//!    degrades exactly as before: a full admission queue answers
+//!    `503 + Retry-After`, an expired deadline `504`, while probes and
+//!    repeat queries keep answering on the event loop.
+//!
+//! Parked responses close their connection (they leave the event loop
+//! for good); every inline tier honors keep-alive.
 
-use std::io;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -15,21 +34,25 @@ use std::time::{Duration, Instant};
 
 use crate::cache::ResponseCache;
 use crate::config::ServeConfig;
+use crate::flight::{FlightTable, Parked, Waiter};
 use crate::handlers::{self, Prepared};
-use crate::http::{self, Request};
+use crate::http::{self, Parsed, Request};
+use crate::memo::CrMemo;
 use crate::metrics::Metrics;
-use crate::pool::{Job, WorkerPool};
+use crate::pool::{self, Job, WorkerPool};
 use crate::router::{route, Route, Routed};
 use crate::signal;
+use crate::sys::{self, Poller, EVENT_READ, EVENT_WRITE};
 
 /// Metrics label for requests that match no route.
 const UNMATCHED: &str = "unmatched";
-/// How often the waker thread polls the shutdown latches. This bounds
-/// shutdown reaction time, NOT request latency: accepts block.
+/// The epoll wait timeout; bounds shutdown reaction time (a wait tick
+/// re-checks the latches), NOT request latency (readiness wakes it).
 const SHUTDOWN_POLL: Duration = Duration::from_millis(25);
-/// Socket read timeout for request parsing (defends the connection
-/// thread against idle peers).
-const READ_TIMEOUT: Duration = Duration::from_secs(30);
+/// Read chunk size for draining a readable socket.
+const READ_CHUNK: usize = 8 * 1024;
+/// How often idle connections are swept.
+const SWEEP_INTERVAL: Duration = Duration::from_secs(1);
 
 /// Everything a connection needs, shared behind one `Arc`.
 pub struct ServerState {
@@ -41,6 +64,10 @@ pub struct ServerState {
     pub metrics: Arc<Metrics>,
     /// The bounded worker pool.
     pub pool: Arc<WorkerPool>,
+    /// In-flight single-flight computations keyed on cache keys.
+    pub flights: Arc<FlightTable>,
+    /// The precomputed `/v1/cr` closed-form lattice.
+    pub memo: Arc<CrMemo>,
 }
 
 /// A bound, not-yet-running server.
@@ -50,7 +77,8 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listener and builds the cache, metrics and pool.
+    /// Binds the listener and builds the cache, metrics, pool, flight
+    /// table and closed-form memo.
     ///
     /// # Errors
     ///
@@ -58,12 +86,25 @@ impl Server {
     /// bound.
     pub fn bind(config: ServeConfig) -> io::Result<Server> {
         config.validate().map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
-        let listener = TcpListener::bind(&config.addr)?;
+        let listener = if config.reuse_port {
+            let addr: SocketAddr = config
+                .addr
+                .parse()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, format!("{e}")))?;
+            sys::bind_reuseport(&addr)?
+        } else {
+            TcpListener::bind(&config.addr)?
+        };
         let threads = config.resolved_threads();
         let cache = Arc::new(ResponseCache::new(config.cache_bytes, config.cache_shards));
         let metrics = Arc::new(Metrics::new(threads));
         let pool = Arc::new(WorkerPool::new(threads, config.queue_capacity, Arc::clone(&metrics)));
-        Ok(Server { listener, state: Arc::new(ServerState { config, cache, metrics, pool }) })
+        let flights = Arc::new(FlightTable::new());
+        let memo = Arc::new(CrMemo::build(config.memo_max_n));
+        Ok(Server {
+            listener,
+            state: Arc::new(ServerState { config, cache, metrics, pool, flights, memo }),
+        })
     }
 
     /// The bound address (useful with port 0).
@@ -75,66 +116,23 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Shared state handle (cache, metrics, pool).
+    /// Shared state handle (cache, metrics, pool, flights, memo).
     #[must_use]
     pub fn state(&self) -> Arc<ServerState> {
         Arc::clone(&self.state)
     }
 
-    /// Runs the accept loop until `shutdown` flips or a termination
-    /// signal arrives, then drains the pool gracefully: no new
-    /// connections are accepted, every admitted job completes.
-    ///
-    /// Accepts are *blocking* (no polling latency on the request
-    /// path); a small waker thread watches the shutdown latches and
-    /// unblocks the final accept with a loopback connection.
+    /// Runs the event loop until `shutdown` flips or a termination
+    /// signal arrives, then drains gracefully: the listener closes (no
+    /// new connections), idle keep-alive connections are dropped, and
+    /// every admitted pool job completes before this returns.
     pub fn run(self, shutdown: Arc<AtomicBool>) {
-        let waker = {
-            let flag = Arc::clone(&shutdown);
-            let addr = self.listener.local_addr().ok();
-            std::thread::Builder::new()
-                .name("faultline-serve-waker".to_owned())
-                .spawn(move || {
-                    while !flag.load(Ordering::SeqCst) && !signal::shutdown_requested() {
-                        std::thread::sleep(SHUTDOWN_POLL);
-                    }
-                    // Latch the programmatic flag (the signal may have
-                    // been the trigger) and unblock the accept call.
-                    flag.store(true, Ordering::SeqCst);
-                    if let Some(addr) = addr {
-                        let _ = TcpStream::connect(addr);
-                    }
-                })
-                .ok()
-        };
-        loop {
-            if shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    // The wake-up connection (or a request racing the
-                    // shutdown) is dropped unanswered.
-                    if shutdown.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let state = Arc::clone(&self.state);
-                    // One short-lived thread per connection: parsing and
-                    // light work happen here, so a slow peer can never
-                    // wedge the accept loop.
-                    let _ = std::thread::Builder::new()
-                        .name("faultline-serve-conn".to_owned())
-                        .spawn(move || handle_connection(stream, &state));
-                }
-                Err(_) => std::thread::sleep(Duration::from_millis(1)),
-            }
+        if let Err(error) = event_loop(&self.listener, &self.state, &shutdown) {
+            eprintln!("faultline-serve event loop failed: {error}");
         }
         // Stop accepting before draining so "graceful" means: in-flight
         // and queued requests finish, new ones are refused.
         drop(self.listener);
-        if let Some(waker) = waker {
-            let _ = waker.join();
-        }
         self.state.pool.drain();
     }
 }
@@ -160,7 +158,7 @@ impl ServerHandle {
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&shutdown);
         let thread = std::thread::Builder::new()
-            .name("faultline-serve-accept".to_owned())
+            .name("faultline-serve-loop".to_owned())
             .spawn(move || server.run(flag))?;
         Ok(ServerHandle { addr, shutdown, state, thread: Some(thread) })
     }
@@ -171,7 +169,7 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Shared state handle (cache, metrics, pool).
+    /// Shared state handle (cache, metrics, pool, flights, memo).
     #[must_use]
     pub fn state(&self) -> Arc<ServerState> {
         Arc::clone(&self.state)
@@ -184,8 +182,8 @@ impl ServerHandle {
 
     fn stop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the accept call immediately instead of waiting for
-        // the waker's next poll tick.
+        // Nudge the event loop: a loopback connect makes the listener
+        // readable, so the next wait returns without the poll tick.
         let _ = TcpStream::connect(self.addr);
         if let Some(thread) = self.thread.take() {
             let _ = thread.join();
@@ -199,142 +197,471 @@ impl Drop for ServerHandle {
     }
 }
 
-fn handle_connection(mut stream: TcpStream, state: &ServerState) {
-    let received = Instant::now();
-    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
-    let _ = stream.set_nodelay(true);
-    let request = match http::read_request(&mut stream) {
-        Ok(Ok(request)) => request,
-        Ok(Err(parse_error)) => {
-            let _ = http::write_error(&mut stream, parse_error.status, &parse_error.message, &[]);
-            state.metrics.observe(UNMATCHED, parse_error.status, received.elapsed());
-            return;
+/// One connection owned by the event loop.
+struct Connection {
+    stream: TcpStream,
+    /// Accumulated unparsed request bytes.
+    buf: Vec<u8>,
+    /// Pending response bytes not yet written.
+    out: Vec<u8>,
+    /// Prefix of `out` already written to the socket.
+    written: usize,
+    /// When the request currently being accumulated started arriving.
+    request_start: Instant,
+    /// Last moment bytes moved in either direction.
+    last_activity: Instant,
+    /// Close the connection once `out` drains.
+    close_after_flush: bool,
+    /// Requests answered on this connection (keep-alive accounting).
+    requests_served: u64,
+    /// Whether the epoll registration currently includes writability.
+    wants_write: bool,
+}
+
+impl Connection {
+    fn new(stream: TcpStream) -> Connection {
+        let now = Instant::now();
+        Connection {
+            stream,
+            buf: Vec::new(),
+            out: Vec::new(),
+            written: 0,
+            request_start: now,
+            last_activity: now,
+            close_after_flush: false,
+            requests_served: 0,
+            wants_write: false,
         }
-        Err(_io) => return, // peer went away; nothing to answer
-    };
-    match route(&request.method, &request.path) {
-        Routed::NotFound => {
-            let _ = http::write_error(
-                &mut stream,
-                404,
-                &format!("no route for {} {}", request.method, request.path),
-                &[],
-            );
-            state.metrics.observe(UNMATCHED, 404, received.elapsed());
+    }
+
+    fn pending_output(&self) -> bool {
+        self.written < self.out.len()
+    }
+}
+
+/// A heavy cache miss leaving the event loop for the pool path.
+struct ParkRequest {
+    key: String,
+    route: &'static str,
+    compute: Box<dyn FnOnce() -> Result<Vec<u8>, crate::ServeError> + Send>,
+    received: Instant,
+}
+
+/// What `process_buffer` decided about a connection's future.
+enum AfterProcess {
+    /// Stay on the event loop.
+    Keep,
+    /// Hand the stream to the flight table (heavy miss).
+    Park(ParkRequest),
+    /// Unrecoverable (peer vanished mid-read/write).
+    Drop,
+}
+
+fn event_loop(
+    listener: &TcpListener,
+    state: &Arc<ServerState>,
+    shutdown: &AtomicBool,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let poller = Poller::new()?;
+    let listener_fd = listener.as_raw_fd();
+    poller.add(listener_fd, EVENT_READ)?;
+    let mut conns: HashMap<i32, Connection> = HashMap::new();
+    let mut events = Vec::new();
+    let mut last_sweep = Instant::now();
+
+    while !shutdown.load(Ordering::SeqCst) && !signal::shutdown_requested() {
+        events.clear();
+        poller.wait(SHUTDOWN_POLL, &mut events)?;
+        for event in &events {
+            let fd = event.token as i32;
+            if fd == listener_fd {
+                accept_ready(listener, &poller, &mut conns, state);
+            } else {
+                service_connection(
+                    fd,
+                    event.readable(),
+                    event.writable(),
+                    &poller,
+                    &mut conns,
+                    state,
+                );
+            }
         }
-        Routed::MethodNotAllowed(allowed) => {
-            let _ = http::write_error(
-                &mut stream,
-                405,
-                &format!("{} expects {allowed}", request.path),
-                &[("Allow", allowed.to_owned())],
-            );
-            state.metrics.observe(UNMATCHED, 405, received.elapsed());
+        if last_sweep.elapsed() >= SWEEP_INTERVAL {
+            sweep_idle(&poller, &mut conns, state.config.idle_timeout);
+            last_sweep = Instant::now();
         }
-        Routed::Matched(Route::Healthz) => {
-            let _ = http::write_response(
-                &mut stream,
-                200,
-                "application/json",
-                &[],
-                b"{\"status\": \"ok\"}\n",
-            );
-            state.metrics.observe(Route::Healthz.label(), 200, received.elapsed());
-        }
-        Routed::Matched(Route::Metrics) => {
-            let body = state.metrics.render(&state.cache);
-            let _ = http::write_response(
-                &mut stream,
-                200,
-                "text/plain; version=0.0.4",
-                &[],
-                body.as_bytes(),
-            );
-            state.metrics.observe(Route::Metrics.label(), 200, received.elapsed());
-        }
-        Routed::Matched(matched) => {
-            handle_compute(stream, state, matched, &request, received);
+    }
+
+    // Teardown: drop every event-loop connection. Idle keep-alive
+    // peers see EOF; parked connections are not here — the pool drain
+    // answers them.
+    for (fd, _conn) in conns.drain() {
+        let _ = poller.del(fd);
+    }
+    Ok(())
+}
+
+/// Accepts every pending connection on a readable listener.
+fn accept_ready(
+    listener: &TcpListener,
+    poller: &Poller,
+    conns: &mut HashMap<i32, Connection>,
+    state: &ServerState,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let fd = stream.as_raw_fd();
+                if poller.add(fd, EVENT_READ).is_ok() {
+                    state.metrics.connection_accepted();
+                    conns.insert(fd, Connection::new(stream));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
         }
     }
 }
 
-/// Serves a compute route: resolve, consult the cache, then either
-/// answer inline (hits and light routes) or admit to the pool.
-fn handle_compute(
-    mut stream: TcpStream,
-    state: &ServerState,
-    matched: Route,
-    request: &Request,
-    received: Instant,
+/// Handles one readiness event for an established connection.
+fn service_connection(
+    fd: i32,
+    readable: bool,
+    writable: bool,
+    poller: &Poller,
+    conns: &mut HashMap<i32, Connection>,
+    state: &Arc<ServerState>,
 ) {
+    let Some(mut conn) = conns.remove(&fd) else {
+        return; // already closed this tick
+    };
+
+    if writable && try_flush(&mut conn).is_err() {
+        let _ = poller.del(fd);
+        return;
+    }
+
+    let after = if readable { read_and_process(&mut conn, state) } else { AfterProcess::Keep };
+
+    match after {
+        AfterProcess::Drop => {
+            let _ = poller.del(fd);
+        }
+        AfterProcess::Park(park) => {
+            let _ = poller.del(fd);
+            // Flush any pipelined responses queued ahead of the parked
+            // request, then hand the (blocking again) stream to the
+            // flight. The pool path writes blocking.
+            let Connection { stream, out, written, .. } = conn;
+            if stream.set_nonblocking(false).is_err() {
+                return;
+            }
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+            if written < out.len() {
+                let mut stream_ref = &stream;
+                if stream_ref.write_all(&out[written..]).is_err() {
+                    return;
+                }
+            }
+            let _ = stream.set_write_timeout(None);
+            park_on_flight(stream, park, state);
+        }
+        AfterProcess::Keep => {
+            if try_flush(&mut conn).is_err() {
+                let _ = poller.del(fd);
+                return;
+            }
+            if conn.close_after_flush && !conn.pending_output() {
+                let _ = poller.del(fd);
+                return;
+            }
+            let wants_write = conn.pending_output();
+            if wants_write != conn.wants_write {
+                let interest = EVENT_READ | if wants_write { EVENT_WRITE } else { 0 };
+                if poller.set(fd, interest).is_err() {
+                    return;
+                }
+                conn.wants_write = wants_write;
+            }
+            conns.insert(fd, conn);
+        }
+    }
+}
+
+/// Drains the socket into the buffer, then parses and serves every
+/// complete request in it.
+fn read_and_process(conn: &mut Connection, state: &Arc<ServerState>) -> AfterProcess {
+    let mut chunk = [0u8; READ_CHUNK];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => return AfterProcess::Drop, // peer closed
+            Ok(n) => {
+                if conn.buf.is_empty() {
+                    conn.request_start = Instant::now();
+                }
+                conn.buf.extend_from_slice(&chunk[..n]);
+                conn.last_activity = Instant::now();
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return AfterProcess::Drop,
+        }
+    }
+    process_buffer(conn, state)
+}
+
+/// Parses and answers every complete request in the buffer.
+fn process_buffer(conn: &mut Connection, state: &Arc<ServerState>) -> AfterProcess {
+    while !conn.close_after_flush {
+        match http::parse_request(&conn.buf) {
+            Parsed::Incomplete => break,
+            Parsed::Invalid(error) => {
+                let bytes = http::error_bytes(error.status, &error.message, &[], false);
+                conn.out.extend_from_slice(&bytes);
+                state.metrics.observe(UNMATCHED, error.status, conn.request_start.elapsed());
+                conn.close_after_flush = true;
+                conn.buf.clear();
+                break;
+            }
+            Parsed::Ready { request, consumed } => {
+                conn.buf.drain(..consumed);
+                conn.requests_served += 1;
+                if conn.requests_served > 1 {
+                    state.metrics.keepalive_reuse();
+                }
+                let received = conn.request_start;
+                conn.request_start = Instant::now();
+                match handle_request(state, &request, received) {
+                    Outcome::Inline(bytes) => {
+                        conn.out.extend_from_slice(&bytes);
+                        if !request.keep_alive {
+                            conn.close_after_flush = true;
+                            conn.buf.clear();
+                        }
+                    }
+                    Outcome::Park(park) => {
+                        // Bytes pipelined behind a parked request are
+                        // dropped: its response closes the connection.
+                        conn.buf.clear();
+                        return AfterProcess::Park(park);
+                    }
+                }
+            }
+        }
+    }
+    AfterProcess::Keep
+}
+
+/// How one parsed request gets answered.
+enum Outcome {
+    /// Complete response bytes for the connection's write buffer.
+    Inline(Vec<u8>),
+    /// Heavy cache miss: park the connection on the single-flight.
+    Park(ParkRequest),
+}
+
+/// Serves one request through the tier ladder (memo → cache hit →
+/// inline light compute → parked heavy compute).
+fn handle_request(state: &Arc<ServerState>, request: &Request, received: Instant) -> Outcome {
+    let keep = request.keep_alive;
+    let matched = match route(&request.method, &request.path) {
+        Routed::NotFound => {
+            state.metrics.observe(UNMATCHED, 404, received.elapsed());
+            return Outcome::Inline(http::error_bytes(
+                404,
+                &format!("no route for {} {}", request.method, request.path),
+                &[],
+                keep,
+            ));
+        }
+        Routed::MethodNotAllowed(allowed) => {
+            state.metrics.observe(UNMATCHED, 405, received.elapsed());
+            return Outcome::Inline(http::error_bytes(
+                405,
+                &format!("{} expects {allowed}", request.path),
+                &[("Allow", allowed.to_owned())],
+                keep,
+            ));
+        }
+        Routed::Matched(Route::Healthz) => {
+            state.metrics.observe(Route::Healthz.label(), 200, received.elapsed());
+            return Outcome::Inline(http::response_bytes(
+                200,
+                "application/json",
+                &[],
+                b"{\"status\": \"ok\"}\n",
+                keep,
+            ));
+        }
+        Routed::Matched(Route::Metrics) => {
+            let body = state.metrics.render(&state.cache);
+            state.metrics.observe(Route::Metrics.label(), 200, received.elapsed());
+            return Outcome::Inline(http::response_bytes(
+                200,
+                "text/plain; version=0.0.4",
+                &[],
+                body.as_bytes(),
+                keep,
+            ));
+        }
+        Routed::Matched(matched) => matched,
+    };
+
+    // Tier 1: the precomputed closed-form lattice. A memoized (n, f)
+    // answers straight off the event loop — no cache, no pool. Pairs
+    // outside the lattice (or unparsable parameters) fall through to
+    // the normal path for its exact resolution and diagnostics.
+    if matched == Route::Cr {
+        let parsed = (
+            request.query_param("n").and_then(|v| v.parse::<usize>().ok()),
+            request.query_param("f").and_then(|v| v.parse::<usize>().ok()),
+        );
+        if let (Some(n), Some(f)) = parsed {
+            if let Some(body) = state.memo.get(n, f) {
+                state.metrics.memo_hit();
+                state.metrics.observe(matched.label(), 200, received.elapsed());
+                return Outcome::Inline(http::response_bytes(
+                    200,
+                    "application/json",
+                    &[("X-Cache", "memo".to_owned())],
+                    &body,
+                    keep,
+                ));
+            }
+        }
+    }
+
     let Prepared { cache_key, compute } = match handlers::prepare(matched, request) {
         Ok(prepared) => prepared,
         Err(error) => {
-            let _ = http::write_error(&mut stream, error.status(), error.message(), &[]);
             state.metrics.observe(matched.label(), error.status(), received.elapsed());
-            return;
+            return Outcome::Inline(http::error_bytes(error.status(), error.message(), &[], keep));
         }
     };
 
-    // Cache hits are answered inline — even on heavy routes — with the
-    // exact bytes the original computation produced.
+    // Tier 2: cache hits are answered inline — even on heavy routes —
+    // with the exact bytes the original computation produced.
     if let Some(body) = state.cache.get(&cache_key) {
-        let _ = http::write_response(
-            &mut stream,
+        state.metrics.observe(matched.label(), 200, received.elapsed());
+        return Outcome::Inline(http::response_bytes(
             200,
             "application/json",
             &[("X-Cache", "hit".to_owned())],
             &body,
-        );
-        state.metrics.observe(matched.label(), 200, received.elapsed());
-        return;
+            keep,
+        ));
     }
 
     // On a miss the computation also populates the cache, so even a
     // deadline-abandoned job warms it for the next request.
     let cache = Arc::clone(&state.cache);
+    let insert_key = cache_key.clone();
     let compute_and_insert: Box<dyn FnOnce() -> Result<Vec<u8>, crate::ServeError> + Send> =
         Box::new(move || {
             let body = compute()?;
-            cache.insert(cache_key, Arc::from(body.clone().into_boxed_slice()));
+            cache.insert(insert_key, Arc::from(body.clone().into_boxed_slice()));
             Ok(body)
         });
 
+    // Tier 4: heavy misses park on the single-flight.
     if matched.is_heavy() {
-        let job = Job {
-            stream,
+        return Outcome::Park(ParkRequest {
+            key: cache_key,
             route: matched.label(),
             compute: compute_and_insert,
             received,
-            deadline: received + state.config.request_timeout,
-        };
-        if let Err(mut job) = state.pool.try_submit(job) {
-            let _ = http::write_error(
-                &mut job.stream,
-                503,
-                "admission queue is full, retry shortly",
-                &[("Retry-After", "1".to_owned())],
-            );
-            state.metrics.observe(matched.label(), 503, received.elapsed());
-        }
-        return;
+        });
     }
 
-    // Light compute (closed-form /v1/cr): answer inline.
+    // Tier 3: light compute (closed-form /v1/cr outside the memo
+    // lattice) answers inline.
     match compute_and_insert() {
         Ok(body) => {
-            let _ = http::write_response(
-                &mut stream,
+            state.metrics.observe(matched.label(), 200, received.elapsed());
+            Outcome::Inline(http::response_bytes(
                 200,
                 "application/json",
                 &[("X-Cache", "miss".to_owned())],
                 &body,
-            );
-            state.metrics.observe(matched.label(), 200, received.elapsed());
+                keep,
+            ))
         }
         Err(error) => {
-            let _ = http::write_error(&mut stream, error.status(), error.message(), &[]);
             state.metrics.observe(matched.label(), error.status(), received.elapsed());
+            Outcome::Inline(http::error_bytes(error.status(), error.message(), &[], keep))
         }
+    }
+}
+
+/// Parks a heavy miss on its flight; the creator submits the one pool
+/// job, coalesced followers just count the metric. A full queue lands
+/// the flight immediately with `503 + Retry-After` for every waiter.
+fn park_on_flight(stream: TcpStream, park: ParkRequest, state: &Arc<ServerState>) {
+    let ParkRequest { key, route, compute, received } = park;
+    match state.flights.park(&key, Waiter { stream, received }) {
+        Parked::Coalesced => state.metrics.coalesced(),
+        Parked::Created => {
+            let job = Job {
+                key: key.clone(),
+                flights: Arc::clone(&state.flights),
+                route,
+                compute,
+                deadline: received + state.config.request_timeout,
+            };
+            if state.pool.try_submit(job).is_err() {
+                let waiters = state.flights.land(&key);
+                pool::respond_waiters_error(
+                    waiters,
+                    route,
+                    &state.metrics,
+                    503,
+                    "admission queue is full, retry shortly",
+                    &[("Retry-After", "1".to_owned())],
+                );
+            }
+        }
+    }
+}
+
+/// Writes as much pending output as the socket accepts.
+fn try_flush(conn: &mut Connection) -> io::Result<()> {
+    while conn.pending_output() {
+        match conn.stream.write(&conn.out[conn.written..]) {
+            Ok(0) => return Err(io::Error::new(io::ErrorKind::WriteZero, "peer stopped reading")),
+            Ok(n) => {
+                conn.written += n;
+                conn.last_activity = Instant::now();
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    if !conn.pending_output() {
+        conn.out.clear();
+        conn.written = 0;
+    }
+    Ok(())
+}
+
+/// Closes connections with no traffic inside the idle window. This is
+/// the slowloris backstop: a half-written request header costs one
+/// buffer for at most `idle_timeout`.
+fn sweep_idle(poller: &Poller, conns: &mut HashMap<i32, Connection>, idle_timeout: Duration) {
+    let expired: Vec<i32> = conns
+        .iter()
+        .filter(|(_, conn)| conn.last_activity.elapsed() >= idle_timeout)
+        .map(|(fd, _)| *fd)
+        .collect();
+    for fd in expired {
+        let _ = poller.del(fd);
+        conns.remove(&fd);
     }
 }

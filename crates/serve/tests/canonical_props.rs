@@ -40,6 +40,7 @@ fn scenario_request(seed: u64) -> Request {
         path: "/v1/scenario".to_owned(),
         query: Vec::new(),
         body: format!("{{\"name\": \"randomized\", \"seed\": {seed}}}"),
+        keep_alive: true,
     }
 }
 
@@ -117,6 +118,7 @@ proptest! {
             path: "/v1/scenario".to_owned(),
             query: Vec::new(),
             body: format!("{{\"seed\": {seed}, \"name\": \"randomized\"}}"),
+            keep_alive: true,
         };
         let a = prepare(Route::Scenario, &scenario_request(seed)).expect("valid").cache_key;
         let b = prepare(Route::Scenario, &reordered).expect("valid").cache_key;

@@ -1,0 +1,182 @@
+//! Concurrency semantics of the epoll server: single-flight
+//! coalescing, HTTP/1.1 keep-alive, the memo tier, and slowloris
+//! resistance. Sequencing is driven by the server's own gauges (never
+//! by sleeps alone), so the tests are deterministic on slow machines.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use faultline_serve::client::{self, Response, Session};
+use faultline_serve::{ServeConfig, ServerHandle};
+
+/// A supremum body slow enough (hundreds of ms even in release) to
+/// hold a worker while the herd piles onto its flight.
+const SLOW_SUPREMUM: &str =
+    r#"{"n": 41, "f": 20, "xmax": 300.0, "grid_points": 60000, "grid": true}"#;
+
+fn spawn(config: ServeConfig) -> (ServerHandle, String) {
+    let handle = ServerHandle::spawn(ServeConfig { addr: "127.0.0.1:0".to_owned(), ..config })
+        .expect("bind on a free port");
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+fn post(addr: &str, path: &str, body: &str) -> Response {
+    client::query_with_timeout(addr, "POST", path, Some(body), Duration::from_secs(120))
+        .expect("loopback POST")
+}
+
+fn wait_for(what: &str, deadline: Duration, mut condition: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while !condition() {
+        assert!(start.elapsed() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn a_thundering_herd_of_identical_misses_computes_exactly_once() {
+    const HERD: usize = 7;
+    let (handle, addr) = spawn(ServeConfig { threads: Some(2), ..ServeConfig::default() });
+    let state = handle.state();
+
+    // The creator parks first and its job occupies a worker...
+    let creator_addr = addr.clone();
+    let creator = std::thread::spawn(move || post(&creator_addr, "/v1/supremum", SLOW_SUPREMUM));
+    wait_for("the creator's job to start computing", Duration::from_secs(30), || {
+        state.metrics.workers_busy() >= 1
+    });
+
+    // ...then the herd sends the byte-different spellings of the same
+    // canonical request while it is still in flight. The coalesced
+    // gauge confirms every one of them parked on the creator's flight
+    // (none raced past a landed flight into a fresh job).
+    let herd: Vec<_> = (0..HERD)
+        .map(|i| {
+            let addr = addr.clone();
+            // Whitespace varies per requester; the canonical key does not.
+            let body = format!(
+                "{{\"n\": 41,{} \"f\": 20, \"xmax\": 300.0, \"grid_points\": 60000, \"grid\": true}}",
+                " ".repeat(i + 1)
+            );
+            std::thread::spawn(move || post(&addr, "/v1/supremum", &body))
+        })
+        .collect();
+    wait_for("the whole herd to coalesce", Duration::from_secs(30), || {
+        state.metrics.coalesced_requests() == HERD as u64
+    });
+
+    let reference = creator.join().expect("creator thread");
+    assert_eq!(reference.status, 200, "creator answered: {}", reference.text());
+    for follower in herd {
+        let response = follower.join().expect("herd thread");
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body, reference.body, "coalesced responses are byte-identical");
+    }
+
+    assert_eq!(state.metrics.pool_jobs(), 1, "eight requests, one computation");
+    assert_eq!(state.metrics.coalesced_requests(), HERD as u64);
+    assert_eq!(state.cache.misses(), HERD as u64 + 1, "every requester probed the cache once");
+    let rendered = state.metrics.render(&state.cache);
+    assert!(
+        rendered.contains(&format!("faultline_coalesced_requests_total {HERD}")),
+        "coalesced_requests exported: {rendered}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let (handle, addr) = spawn(ServeConfig::default());
+    let state = handle.state();
+
+    let mut session = Session::new(&addr);
+    let first = session.request("GET", "/v1/cr?n=5&f=2", None).expect("first request");
+    assert_eq!(first.status, 200);
+    for _ in 0..4 {
+        let again = session.request("GET", "/v1/cr?n=5&f=2", None).expect("reused connection");
+        assert_eq!(again.status, 200);
+        assert_eq!(again.body, first.body);
+    }
+    assert!(session.is_connected(), "the connection survived all five requests");
+    assert_eq!(state.metrics.connections(), 1, "five requests, one connection");
+    assert_eq!(state.metrics.keepalive_reuses(), 4, "four requests after the first reused it");
+    handle.shutdown();
+}
+
+#[test]
+fn a_half_written_request_cannot_stall_other_connections() {
+    let (handle, addr) = spawn(ServeConfig { threads: Some(1), ..ServeConfig::default() });
+
+    // A slowloris peer: opens the connection, dribbles half a request
+    // head, and then just... holds.
+    let mut slow = TcpStream::connect(&addr).expect("slowloris connect");
+    slow.write_all(b"GET /healthz HTTP/1.1\r\nHost: loop").expect("partial head");
+    slow.flush().expect("flush partial head");
+
+    // Every well-behaved client keeps getting answered promptly while
+    // the half-written request sits in its own connection buffer.
+    for _ in 0..5 {
+        let start = Instant::now();
+        let response =
+            client::query_with_timeout(&addr, "GET", "/healthz", None, Duration::from_secs(5))
+                .expect("healthy request while slowloris holds");
+        assert_eq!(response.status, 200);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "requests answered while a peer dribbles"
+        );
+    }
+    drop(slow);
+    handle.shutdown();
+}
+
+#[test]
+fn the_memo_tier_answers_cr_without_touching_the_pool() {
+    let (handle, addr) = spawn(ServeConfig::default());
+    let state = handle.state();
+    assert!(!state.memo.is_empty(), "the lattice was precomputed at startup");
+
+    let memoized = client::query(&addr, "GET", "/v1/cr?n=9&f=4", None).expect("memo GET");
+    assert_eq!(memoized.status, 200);
+    assert_eq!(memoized.header("X-Cache"), Some("memo"), "served from the precomputed lattice");
+    assert_eq!(state.metrics.memo_hits(), 1);
+    assert_eq!(state.metrics.pool_jobs(), 0, "GET /v1/cr never dispatched to the pool");
+    assert_eq!(state.cache.misses(), 0, "nor to the LRU/compute path");
+    let rendered = state.metrics.render(&state.cache);
+    assert!(rendered.contains("faultline_cr_memo_hits_total 1"), "memo tier exported: {rendered}");
+    handle.shutdown();
+
+    // The memo tier is byte-identical to the computed path: the same
+    // query against a memo-disabled server produces the same body.
+    let (plain, plain_addr) = spawn(ServeConfig { memo_max_n: 0, ..ServeConfig::default() });
+    let computed = client::query(&plain_addr, "GET", "/v1/cr?n=9&f=4", None).expect("computed GET");
+    assert_eq!(computed.status, 200);
+    assert_eq!(computed.header("X-Cache"), Some("miss"), "memo disabled: the compute path");
+    assert_eq!(computed.body, memoized.body, "memo bytes equal computed bytes");
+    plain.shutdown();
+}
+
+#[test]
+fn pipelined_requests_on_one_connection_all_answer() {
+    let (handle, addr) = spawn(ServeConfig::default());
+
+    // Two back-to-back requests in a single write: the parser must
+    // consume exactly one at a time and answer both in order.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .write_all(
+            b"GET /healthz HTTP/1.1\r\nHost: l\r\n\r\nGET /v1/cr?n=3&f=1 HTTP/1.1\r\nHost: l\r\nConnection: close\r\n\r\n",
+        )
+        .expect("pipelined write");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("read timeout");
+    let mut bytes = Vec::new();
+    use std::io::Read;
+    stream.read_to_end(&mut bytes).expect("read both responses");
+    let text = String::from_utf8_lossy(&bytes);
+    let answers = text.matches("HTTP/1.1 200 OK").count();
+    assert_eq!(answers, 2, "both pipelined requests answered: {text}");
+    assert!(text.contains("\"cr_upper\""), "the second response carries the CR report");
+    handle.shutdown();
+}

@@ -5,7 +5,7 @@
 
 use std::time::{Duration, Instant};
 
-use faultline_serve::client::{self, Response};
+use faultline_serve::client::{self, Response, Session};
 use faultline_serve::{ServeConfig, ServerHandle};
 
 /// A supremum body slow enough (hundreds of ms even in release) to
@@ -231,10 +231,13 @@ fn tight_cache_budget_evicts_oldest_first_and_recomputes_identically() {
     const B: &str = "/v1/cr?n=5&f=2";
     const C: &str = "/v1/cr?n=7&f=3";
 
+    // This test pins LRU mechanics, so the closed-form memo tier (which
+    // would answer /v1/cr before the cache is consulted) is disabled in
+    // both spawns; the assertions themselves are unchanged.
     // Pre-flight on a roomy server: measure each entry's exact charge
     // (canonical key + body bytes) from the live-bytes gauge, and keep
     // the reference bodies for byte-identity checks after re-compute.
-    let (roomy, addr) = spawn(ServeConfig::default());
+    let (roomy, addr) = spawn(ServeConfig { memo_max_n: 0, ..ServeConfig::default() });
     let state = roomy.state();
     let mut charges = Vec::new();
     let mut bodies = Vec::new();
@@ -251,8 +254,12 @@ fn tight_cache_budget_evicts_oldest_first_and_recomputes_identically() {
     // One shard whose budget holds any two of the entries but not all
     // three, so the third insertion must evict exactly one entry.
     let budget: usize = charges.iter().sum::<usize>() - 1;
-    let (handle, addr) =
-        spawn(ServeConfig { cache_bytes: budget, cache_shards: 1, ..ServeConfig::default() });
+    let (handle, addr) = spawn(ServeConfig {
+        cache_bytes: budget,
+        cache_shards: 1,
+        memo_max_n: 0,
+        ..ServeConfig::default()
+    });
     let state = handle.state();
 
     let miss_a = get(&addr, A);
@@ -318,6 +325,38 @@ fn graceful_shutdown_drains_in_flight_work_and_refuses_new() {
     assert_eq!(drained.status, 200, "drained, not dropped: {}", drained.text());
 
     // The listener is gone: new connections are refused.
+    assert!(
+        client::query_with_timeout(&addr, "GET", "/healthz", None, Duration::from_secs(2)).is_err(),
+        "the drained server must not accept new connections"
+    );
+}
+
+#[test]
+fn idle_keep_alive_connections_do_not_block_drain() {
+    let (handle, addr) = spawn(ServeConfig::default());
+
+    // Two persistent connections: one has served a request and sits
+    // idle, the other never sends a byte (a connected-but-silent peer).
+    let mut session = Session::new(&addr);
+    assert_eq!(session.request("GET", "/healthz", None).expect("keep-alive GET").status, 200);
+    assert!(session.is_connected(), "the session held its connection open");
+    let silent = std::net::TcpStream::connect(&addr).expect("silent connect");
+
+    // Shutdown must return promptly even though both connections are
+    // still open: idle keep-alive peers are torn down, not drained.
+    let start = Instant::now();
+    handle.shutdown();
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "drain was blocked by idle keep-alive connections"
+    );
+
+    // Both peers observe the close, and the port stops answering.
+    assert!(
+        session.request("GET", "/healthz", None).is_err(),
+        "the idle session's connection was closed and cannot reconnect"
+    );
+    drop(silent);
     assert!(
         client::query_with_timeout(&addr, "GET", "/healthz", None, Duration::from_secs(2)).is_err(),
         "the drained server must not accept new connections"

@@ -1,0 +1,109 @@
+//! Deterministic soak: a seeded mixed workload against a sharded
+//! (SO_REUSEPORT) server. Ignored by default — CI runs it in the
+//! release job with `cargo test --release -p faultline-serve --test
+//! soak -- --ignored`.
+
+use faultline_serve::loadgen::{self, LoadOptions};
+use faultline_serve::{ServeConfig, ServerHandle};
+
+struct Counters {
+    connections: u64,
+    keepalive_reuses: u64,
+    memo_hits: u64,
+    pool_jobs: u64,
+    coalesced: u64,
+    cache_hits: u64,
+}
+
+fn snapshot(shards: &[ServerHandle]) -> Vec<Counters> {
+    shards
+        .iter()
+        .map(|shard| {
+            let state = shard.state();
+            Counters {
+                connections: state.metrics.connections(),
+                keepalive_reuses: state.metrics.keepalive_reuses(),
+                memo_hits: state.metrics.memo_hits(),
+                pool_jobs: state.metrics.pool_jobs(),
+                coalesced: state.metrics.coalesced_requests(),
+                cache_hits: state.cache.hits(),
+            }
+        })
+        .collect()
+}
+
+#[test]
+#[ignore = "soak workload; CI runs it in the release job"]
+fn a_seeded_soak_against_two_shards_is_clean_and_reproducible() {
+    // Two shards sharing one kernel-balanced port.
+    let first = ServerHandle::spawn(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        reuse_port: true,
+        ..ServeConfig::default()
+    })
+    .expect("shard 0");
+    let addr = first.addr().to_string();
+    let second = ServerHandle::spawn(ServeConfig {
+        addr: addr.clone(),
+        reuse_port: true,
+        ..ServeConfig::default()
+    })
+    .expect("shard 1");
+    let shards = [first, second];
+
+    let options = LoadOptions {
+        addr: Some(addr),
+        requests: 20_000,
+        concurrency: 8,
+        seed: 42,
+        ..LoadOptions::default()
+    };
+
+    let run1 = loadgen::run(&options).expect("first soak run");
+    let mid = snapshot(&shards);
+    let run2 = loadgen::run(&options).expect("second soak run");
+    let end = snapshot(&shards);
+
+    for (label, run) in [("first", &run1), ("second", &run2)] {
+        assert_eq!(run.errors, 0, "{label} run had transport errors");
+        assert_eq!(run.requests, options.requests, "{label} run completed every request");
+        // The workload induces no saturation, so *every* response is a
+        // 200 — no 5xx of any kind.
+        assert_eq!(
+            run.statuses.get(&200).copied(),
+            Some(options.requests),
+            "{label} run statuses: {:?}",
+            run.statuses
+        );
+        assert_eq!(run.statuses.len(), 1, "{label} run statuses: {:?}", run.statuses);
+    }
+
+    // Same seed ⇒ identical request streams ⇒ identical digest, even
+    // though the kernel balanced connections across shards differently.
+    assert_eq!(run1.digest, run2.digest, "the soak digest is seed-deterministic");
+
+    // Counters only ever move forward, and the load actually landed on
+    // both shards.
+    for (shard, (before, after)) in mid.iter().zip(end.iter()).enumerate() {
+        assert!(after.connections >= before.connections, "shard {shard} connections regressed");
+        assert!(
+            after.keepalive_reuses >= before.keepalive_reuses,
+            "shard {shard} keep-alive reuses regressed"
+        );
+        assert!(after.memo_hits >= before.memo_hits, "shard {shard} memo hits regressed");
+        assert!(after.pool_jobs >= before.pool_jobs, "shard {shard} pool jobs regressed");
+        assert!(after.coalesced >= before.coalesced, "shard {shard} coalesced regressed");
+        assert!(after.cache_hits >= before.cache_hits, "shard {shard} cache hits regressed");
+    }
+    // The load landed: the client fleet connected, the cr mix exercised
+    // the memo tier. (Per-shard arrival is up to the kernel's reuseport
+    // hash, so only the aggregate is asserted.)
+    let total_connections: u64 = end.iter().map(|c| c.connections).sum();
+    assert!(total_connections >= 8, "the client fleet connected: {total_connections}");
+    let total_memo: u64 = end.iter().map(|c| c.memo_hits).sum();
+    assert!(total_memo > 0, "the cr mix exercised the memo tier");
+
+    for shard in shards {
+        shard.shutdown();
+    }
+}

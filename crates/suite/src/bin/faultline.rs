@@ -12,8 +12,9 @@
 //! faultline explore  <n> <f> [--budget=..]      # adversary-space coverage sweep
 //! faultline conformance run [--seed=..]         # differential oracle sweep
 //! faultline conformance replay <file.json>      # reproduce a counterexample
-//! faultline serve [--addr=..] [--threads=..]    # HTTP query service
+//! faultline serve [--addr=..] [--shards=..]     # HTTP query service
 //! faultline query <route> [json]                # loopback client
+//! faultline loadgen [--quick] [--seed=..]       # seeded load driver
 //! ```
 
 use std::process::ExitCode;
@@ -103,9 +104,15 @@ const USAGE: &str = "usage:
                      [--json] [--out=DIR] [--inject=ORACLE]
   faultline conformance replay <counterexample.json>
   faultline serve    [--addr=HOST:PORT] [--threads=N] [--cache-bytes=N]
-                     [--queue=N] [--timeout-secs=N]
+                     [--queue=N] [--timeout-secs=N] [--shards=N]
+                     [--reuse-port] [--memo-max-n=N]
+                     (--shards=N supervises N SO_REUSEPORT processes;
+                      needs an explicit port)
   faultline query    <route> [json body] [--addr=HOST:PORT]
-                     (exit 3 on 503 backpressure, 4 on 504 deadline)";
+                     (exit 3 on 503 backpressure, 4 on 504 deadline)
+  faultline loadgen  [--quick] [--seed=N] [--requests=N] [--concurrency=N]
+                     [--shards=N] [--addr=HOST:PORT] [--out=FILE] [--force]
+                     [--baseline=LOAD_date.json] [--json]";
 
 fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let command = args.first().map(String::as_str).ok_or("missing command")?;
@@ -124,6 +131,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "conformance" => conformance(&args[1..]),
         "serve" => serve(&args[1..]),
         "query" => query(&args[1..]),
+        "loadgen" => loadgen(&args[1..]),
         other => Err(format!("unknown command `{other}`").into()),
     }
 }
@@ -652,6 +660,7 @@ fn conformance(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 fn serve(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     use faultline_serve::{signal, ServeConfig, Server};
     let mut config = ServeConfig::default();
+    let mut shards = 1usize;
     for arg in rest {
         if let Some(addr) = arg.strip_prefix("--addr=") {
             config.addr = addr.to_owned();
@@ -663,9 +672,21 @@ fn serve(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             config.queue_capacity = depth.parse()?;
         } else if let Some(secs) = arg.strip_prefix("--timeout-secs=") {
             config.request_timeout = std::time::Duration::from_secs(secs.parse()?);
+        } else if let Some(n) = arg.strip_prefix("--shards=") {
+            shards = n.parse()?;
+        } else if let Some(n) = arg.strip_prefix("--memo-max-n=") {
+            config.memo_max_n = n.parse()?;
+        } else if arg == "--reuse-port" {
+            config.reuse_port = true;
         } else {
             return Err(format!("unknown serve flag `{arg}`").into());
         }
+    }
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    if shards > 1 {
+        return serve_sharded(shards, &config.addr, rest);
     }
     signal::install();
     let server = Server::bind(config.clone())?;
@@ -680,6 +701,207 @@ fn serve(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let shutdown = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
     server.run(shutdown); // returns after SIGINT/SIGTERM + drain
     eprintln!("faultline-serve drained and stopped");
+    Ok(())
+}
+
+/// Supervises `shards` single-shard child processes sharing one port
+/// via SO_REUSEPORT (the kernel balances incoming connections across
+/// their listeners). SIGINT/SIGTERM on the supervisor is forwarded to
+/// every child as SIGTERM, and the supervisor waits for all of them to
+/// drain.
+fn serve_sharded(
+    shards: usize,
+    addr: &str,
+    rest: &[String],
+) -> Result<(), Box<dyn std::error::Error>> {
+    use faultline_serve::{signal, sys};
+
+    // Every shard must bind the *same* concrete port; port 0 would
+    // hand each child a different ephemeral port.
+    let port = addr.rsplit(':').next().and_then(|p| p.parse::<u16>().ok());
+    match port {
+        Some(0) | None => {
+            return Err(format!(
+                "--shards={shards} needs an explicit port in --addr (got `{addr}`)"
+            )
+            .into())
+        }
+        Some(_) => {}
+    }
+
+    // Children re-run `faultline serve` with the same flags, minus the
+    // shard count, plus the reuseport opt-in.
+    let exe = std::env::current_exe()?;
+    let child_args: Vec<&String> = rest
+        .iter()
+        .filter(|a| !a.starts_with("--shards=") && a.as_str() != "--reuse-port")
+        .collect();
+    signal::install();
+    let mut children = Vec::with_capacity(shards);
+    for shard in 0..shards {
+        let child = std::process::Command::new(&exe)
+            .arg("serve")
+            .args(&child_args)
+            .arg("--reuse-port")
+            .spawn()
+            .map_err(|e| format!("cannot spawn shard {shard}: {e}"))?;
+        children.push(child);
+    }
+    eprintln!("faultline-serve supervising {shards} shards on {addr} (SO_REUSEPORT)");
+
+    let mut forwarded = false;
+    let mut failure: Option<String> = None;
+    while children.iter_mut().any(|c| matches!(c.try_wait(), Ok(None))) {
+        if signal::shutdown_requested() && !forwarded {
+            eprintln!("faultline-serve forwarding shutdown to {shards} shards");
+            for child in &children {
+                let _ = sys::terminate(child.id());
+            }
+            forwarded = true;
+        }
+        // A shard dying on its own (bind failure, panic) takes the
+        // fleet down: forward termination and report the failure.
+        if !forwarded {
+            for (shard, child) in children.iter_mut().enumerate() {
+                if let Ok(Some(status)) = child.try_wait() {
+                    failure = Some(format!("shard {shard} exited early: {status}"));
+                }
+            }
+            if failure.is_some() {
+                for child in &children {
+                    let _ = sys::terminate(child.id());
+                }
+                forwarded = true;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    for mut child in children {
+        let _ = child.wait();
+    }
+    match failure {
+        Some(message) => Err(message.into()),
+        None => {
+            eprintln!("faultline-serve shards drained and stopped");
+            Ok(())
+        }
+    }
+}
+
+fn loadgen(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use faultline_serve::loadgen::LoadOptions;
+
+    let mut quick = false;
+    let mut json = false;
+    let mut force = false;
+    let mut out: Option<String> = None;
+    let mut against: Option<String> = None;
+    let mut seed: Option<u64> = None;
+    let mut requests: Option<u64> = None;
+    let mut concurrency: Option<usize> = None;
+    let mut shards: Option<usize> = None;
+    let mut addr: Option<String> = None;
+    for arg in rest {
+        if let Some(v) = arg.strip_prefix("--seed=") {
+            seed = Some(v.parse()?);
+        } else if let Some(v) = arg.strip_prefix("--requests=") {
+            requests = Some(v.parse()?);
+        } else if let Some(v) = arg.strip_prefix("--concurrency=") {
+            concurrency = Some(v.parse()?);
+        } else if let Some(v) = arg.strip_prefix("--shards=") {
+            shards = Some(v.parse()?);
+        } else if let Some(v) = arg.strip_prefix("--addr=") {
+            addr = Some(v.to_owned());
+        } else if let Some(v) = arg.strip_prefix("--out=") {
+            out = Some(v.to_owned());
+        } else if let Some(v) = arg.strip_prefix("--baseline=") {
+            against = Some(v.to_owned());
+        } else if arg == "--quick" {
+            quick = true;
+        } else if arg == "--json" {
+            json = true;
+        } else if arg == "--force" {
+            force = true;
+        } else {
+            return Err(format!("unknown loadgen flag `{arg}`").into());
+        }
+    }
+
+    let mut options = LoadOptions::default();
+    if quick {
+        options = options.quick();
+    }
+    if let Some(v) = seed {
+        options.seed = v;
+    }
+    if let Some(v) = requests {
+        options.requests = v;
+    }
+    if let Some(v) = concurrency {
+        options.concurrency = v;
+    }
+    if let Some(v) = shards {
+        options.shards = v;
+    }
+    options.addr = addr;
+
+    match &options.addr {
+        Some(target) => eprintln!(
+            "loadgen: {} requests x {} threads (seed {}) against {target}",
+            options.requests, options.concurrency, options.seed
+        ),
+        None => eprintln!(
+            "loadgen: {} requests x {} threads (seed {}) against {} in-process shard(s)",
+            options.requests,
+            options.concurrency,
+            options.seed,
+            options.shards.max(1)
+        ),
+    }
+    let report = faultline_bench::run_load(&options, quick)?;
+    if json {
+        println!("{}", serde_json::to_string_pretty(&report)?);
+    } else {
+        println!(
+            "loadgen: {} requests in {:.0} ms -> {:.0} qps (p50 {:.2} ms, p99 {:.2} ms)",
+            report.requests, report.wall_ms, report.qps, report.p50_ms, report.p99_ms
+        );
+        println!(
+            "  statuses: {:?}, errors: {}, digest: {}",
+            report.statuses, report.errors, report.digest
+        );
+    }
+
+    let path = faultline_bench::resolve_out_path(
+        out.as_deref(),
+        &format!("LOAD_{}.json", report.date),
+        force,
+    )?;
+    std::fs::write(&path, serde_json::to_string_pretty(&report)? + "\n")?;
+    eprintln!("(load report written to {})", path.display());
+
+    if let Some(recorded_path) = against {
+        println!("== Load gate: vs recorded report {recorded_path} ==");
+        let text = std::fs::read_to_string(&recorded_path)
+            .map_err(|e| format!("cannot read load report `{recorded_path}`: {e}"))?;
+        let recorded: faultline_bench::LoadReport = serde_json::from_str(&text)
+            .map_err(|e| format!("cannot parse load report `{recorded_path}`: {e}"))?;
+        let comparison = faultline_bench::compare_load(&report, &recorded);
+        for line in &comparison.lines {
+            println!("  {line}");
+        }
+        if !comparison.passed() {
+            return Err(format!(
+                "load gate failed: {} entr{} regressed beyond {:.0}% \
+                 (re-record the load report if the regression is intended)",
+                comparison.regressions.len(),
+                if comparison.regressions.len() == 1 { "y" } else { "ies" },
+                faultline_bench::REGRESSION_TOLERANCE * 100.0
+            )
+            .into());
+        }
+        println!("load gate passed.");
+    }
     Ok(())
 }
 

@@ -120,6 +120,22 @@ impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
     }
 }
 
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for std::collections::BTreeMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Object(fields) => fields
+                .into_iter()
+                .map(|(key, value)| {
+                    from_value(value)
+                        .map(|v| (key.clone(), v))
+                        .map_err(|e| D::Error::custom(format!("field {key}: {e}")))
+                })
+                .collect(),
+            other => Err(mismatch("an object", &other)),
+        }
+    }
+}
+
 impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
         match deserializer.take_value()? {

@@ -136,3 +136,13 @@ impl<A: Serialize, B: Serialize> Serialize for (A, B) {
         serializer.serialize_value(Value::Array(items))
     }
 }
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut fields = Vec::with_capacity(self.len());
+        for (key, value) in self {
+            fields.push((key.clone(), to_value(value).map_err(S::Error::custom)?));
+        }
+        serializer.serialize_value(Value::Object(fields))
+    }
+}
